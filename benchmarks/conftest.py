@@ -1,0 +1,51 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks run on reduced-scale workloads (the ``scale`` factor shrinks
+the gene dimension, never the row dimension that drives row enumeration)
+so the whole suite completes in minutes in pure Python.  The *relative*
+shapes — who is faster, how runtimes move with minsup and k — are the
+reproduction targets; scales are recorded in each benchmark's
+``extra_info``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.loaders import load_benchmark
+
+BENCH_SCALE = 0.1
+SMALL_SCALE = 0.05
+
+
+@pytest.fixture(scope="session")
+def all_benchmark():
+    """ALL-shaped workload at benchmark scale."""
+    return load_benchmark("ALL", scale=BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def lc_benchmark():
+    return load_benchmark("LC", scale=SMALL_SCALE)
+
+
+@pytest.fixture(scope="session")
+def oc_benchmark():
+    return load_benchmark("OC", scale=SMALL_SCALE)
+
+
+@pytest.fixture(scope="session")
+def pc_benchmark():
+    # 0.1 is the smallest scale at which the PC batch effect reproduces
+    # the paper's regime (see tests/conftest.py).
+    return load_benchmark("PC", scale=BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def paper_benchmarks(all_benchmark, lc_benchmark, oc_benchmark, pc_benchmark):
+    return {
+        "ALL": all_benchmark,
+        "LC": lc_benchmark,
+        "OC": oc_benchmark,
+        "PC": pc_benchmark,
+    }

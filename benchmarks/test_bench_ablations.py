@@ -1,0 +1,146 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+* top-k pruning on/off — the paper's core algorithmic contribution;
+* single-item list initialization on/off;
+* dynamic minsup raising on/off;
+* enumeration engine comparison (bitset / table / tree) at equal output;
+* FindLB with and without the entropy item ranking.
+"""
+
+import pytest
+
+from repro.analysis.gene_ranking import gene_entropy_scores, item_scores
+from repro.core.lower_bounds import find_lower_bounds
+from repro.core.topk_miner import mine_topk, relative_minsup
+
+FRACTION = 0.85
+
+
+@pytest.mark.parametrize("use_pruning", (True, False))
+def test_ablation_topk_pruning(benchmark, all_benchmark, use_pruning):
+    """Isolate the dynamic-minconf pruning: the other two optimizations
+    are held off in both arms (with them on, the per-row lists saturate
+    so early that nothing is left for the confidence bound to prune)."""
+    train = all_benchmark.train_items
+    minsup = relative_minsup(train, 1, FRACTION)
+    result = benchmark(
+        lambda: mine_topk(
+            train, 1, minsup, k=1,
+            use_topk_pruning=use_pruning,
+            initialize_single_items=False,
+            dynamic_minsup=False,
+        )
+    )
+    benchmark.extra_info.update(
+        {"topk_pruning": use_pruning, "nodes": result.stats.nodes_visited}
+    )
+
+
+@pytest.mark.parametrize("initialize", (True, False))
+def test_ablation_single_item_init(benchmark, all_benchmark, initialize):
+    train = all_benchmark.train_items
+    minsup = relative_minsup(train, 1, FRACTION)
+    result = benchmark(
+        lambda: mine_topk(
+            train, 1, minsup, k=1, initialize_single_items=initialize
+        )
+    )
+    benchmark.extra_info.update(
+        {"single_item_init": initialize, "nodes": result.stats.nodes_visited}
+    )
+
+
+@pytest.mark.parametrize("dynamic", (True, False))
+def test_ablation_dynamic_minsup(benchmark, all_benchmark, dynamic):
+    train = all_benchmark.train_items
+    minsup = relative_minsup(train, 1, FRACTION)
+    result = benchmark(
+        lambda: mine_topk(train, 1, minsup, k=1, dynamic_minsup=dynamic)
+    )
+    benchmark.extra_info.update(
+        {"dynamic_minsup": dynamic, "nodes": result.stats.nodes_visited}
+    )
+
+
+@pytest.mark.parametrize("engine", ("bitset", "table", "tree"))
+def test_ablation_engines(benchmark, all_benchmark, engine):
+    train = all_benchmark.train_items
+    minsup = relative_minsup(train, 1, FRACTION)
+    result = benchmark(
+        lambda: mine_topk(train, 1, minsup, k=10, engine=engine)
+    )
+    assert result.stats.completed
+    benchmark.extra_info.update({"engine": engine})
+
+
+@pytest.mark.parametrize("ranked", (True, False))
+def test_ablation_findlb_ranking(benchmark, all_benchmark, ranked):
+    train = all_benchmark.train_items
+    minsup = relative_minsup(train, 1, 0.7)
+    group = mine_topk(train, 1, minsup, k=1).unique_groups()[0]
+    scores = (
+        item_scores(train, gene_entropy_scores(train)) if ranked else None
+    )
+    result = benchmark(
+        lambda: find_lower_bounds(train, group, nl=10, item_scores=scores)
+    )
+    assert result.rules
+    benchmark.extra_info.update(
+        {"entropy_ranking": ranked, "tested": result.subsets_tested}
+    )
+
+
+def test_ablation_pruning_shape(all_benchmark):
+    """Top-k pruning must reduce enumeration effort, all else equal."""
+    train = all_benchmark.train_items
+    minsup = relative_minsup(train, 1, FRACTION)
+    pruned = mine_topk(
+        train, 1, minsup, k=1, use_topk_pruning=True,
+        initialize_single_items=False, dynamic_minsup=False,
+    )
+    unpruned = mine_topk(
+        train, 1, minsup, k=1, use_topk_pruning=False,
+        initialize_single_items=False, dynamic_minsup=False,
+    )
+    assert pruned.stats.nodes_visited * 10 < unpruned.stats.nodes_visited
+
+
+def test_ablation_initialization_shape(all_benchmark):
+    """Single-item initialization shrinks the search given pruning."""
+    train = all_benchmark.train_items
+    minsup = relative_minsup(train, 1, FRACTION)
+    with_init = mine_topk(
+        train, 1, minsup, k=1, initialize_single_items=True,
+        dynamic_minsup=False,
+    )
+    without = mine_topk(
+        train, 1, minsup, k=1, initialize_single_items=False,
+        dynamic_minsup=False,
+    )
+    assert (
+        with_init.stats.nodes_visited <= without.stats.nodes_visited
+    )
+
+
+def test_ablation_hybrid_vs_direct(benchmark, oc_benchmark):
+    """Section 8 extension: partitioned mining on the tallest dataset.
+
+    The hybrid miner re-derives each partition independently, so it does
+    more total work here — its value is that partitions are independent
+    (memory-bounded / disk-friendly), not raw speed.  The benchmark
+    records node counts for both so the report shows the trade.
+    """
+    from repro.core.hybrid import mine_topk_hybrid
+
+    train = oc_benchmark.train_items
+    minsup = relative_minsup(train, 1, 0.8)
+    direct = mine_topk(train, 1, minsup, k=2)
+    result = benchmark(lambda: mine_topk_hybrid(train, 1, minsup, k=2))
+    assert result.stats.completed
+    benchmark.extra_info.update(
+        {
+            "direct_nodes": direct.stats.nodes_visited,
+            "hybrid_nodes": result.stats.nodes_visited,
+            "partitions": result.hybrid_stats.n_partitions,
+        }
+    )

@@ -1,0 +1,41 @@
+"""Figure 7 benchmarks: RCBT build cost and accuracy as nl varies.
+
+The paper's claim is flatness: accuracy saturates for nl ≳ 15.  Each
+benchmark records the achieved accuracy so the series can be read off
+the report; a shape test asserts the saturation directly.
+"""
+
+import pytest
+
+from repro.classifiers import RCBTClassifier
+
+NL_VALUES = (1, 5, 10, 20)
+
+
+@pytest.mark.parametrize("nl", NL_VALUES)
+def test_fig7_rcbt_vs_nl(benchmark, all_benchmark, nl):
+    train = all_benchmark.train_items
+    model = benchmark(lambda: RCBTClassifier(k=5, nl=nl).fit(train))
+    accuracy = model.score(all_benchmark.test_items)
+    benchmark.extra_info.update({"nl": nl, "accuracy": accuracy})
+
+
+@pytest.mark.parametrize("nl", (5, 10))
+def test_fig7_lc_series(benchmark, lc_benchmark, nl):
+    train = lc_benchmark.train_items
+    model = benchmark(lambda: RCBTClassifier(k=5, nl=nl).fit(train))
+    accuracy = model.score(lc_benchmark.test_items)
+    benchmark.extra_info.update(
+        {"dataset": "LC", "nl": nl, "accuracy": accuracy}
+    )
+
+
+def test_fig7_shape_saturation(all_benchmark):
+    """Accuracy at large nl is at least that at nl=15 (the flat region)."""
+    train, test = all_benchmark.train_items, all_benchmark.test_items
+    accuracies = {
+        nl: RCBTClassifier(k=5, nl=nl).fit(train).score(test)
+        for nl in (15, 20, 25)
+    }
+    spread = max(accuracies.values()) - min(accuracies.values())
+    assert spread <= 0.06, accuracies

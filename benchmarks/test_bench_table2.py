@@ -1,0 +1,112 @@
+"""Table 2 benchmarks: classifier training + evaluation.
+
+Times each classifier's end-to-end fit on the benchmark workloads and
+asserts the paper's qualitative accuracy ordering on the shifted
+prostate-cancer analog (RCBT robust, C4.5 family collapsed).
+"""
+
+import pytest
+
+from repro.classifiers import (
+    AdaBoostTrees,
+    BaggingTrees,
+    CBAClassifier,
+    DecisionTreeC45,
+    IRGClassifier,
+    RCBTClassifier,
+    SVMClassifier,
+)
+
+
+def numeric_features(bench):
+    genes = bench.discretizer.selected_genes_
+    return (
+        bench.train.values[:, genes],
+        bench.test.values[:, genes],
+        bench.train.labels,
+        bench.test.labels,
+    )
+
+
+def test_table2_rcbt_fit(benchmark, all_benchmark):
+    train = all_benchmark.train_items
+    model = benchmark(lambda: RCBTClassifier(k=10, nl=20).fit(train))
+    accuracy = model.score(all_benchmark.test_items)
+    assert accuracy >= 0.8
+    benchmark.extra_info.update({"classifier": "RCBT", "accuracy": accuracy})
+
+
+def test_table2_cba_fit(benchmark, all_benchmark):
+    train = all_benchmark.train_items
+    model = benchmark(lambda: CBAClassifier().fit(train))
+    accuracy = model.score(all_benchmark.test_items)
+    assert accuracy >= 0.7
+    benchmark.extra_info.update({"classifier": "CBA", "accuracy": accuracy})
+
+
+def test_table2_irg_fit(benchmark, all_benchmark):
+    train = all_benchmark.train_items
+    model = benchmark(
+        lambda: IRGClassifier(minconf=0.8, node_budget=100_000).fit(train)
+    )
+    accuracy = model.score(all_benchmark.test_items)
+    benchmark.extra_info.update({"classifier": "IRG", "accuracy": accuracy})
+
+
+def test_table2_tree_fit(benchmark, all_benchmark):
+    X_train, X_test, y_train, y_test = numeric_features(all_benchmark)
+    model = benchmark(lambda: DecisionTreeC45().fit(X_train, y_train))
+    benchmark.extra_info.update(
+        {"classifier": "C4.5-single", "accuracy": model.score(X_test, y_test)}
+    )
+
+
+def test_table2_bagging_fit(benchmark, all_benchmark):
+    X_train, X_test, y_train, y_test = numeric_features(all_benchmark)
+    model = benchmark(lambda: BaggingTrees(10).fit(X_train, y_train))
+    benchmark.extra_info.update(
+        {"classifier": "C4.5-bagging", "accuracy": model.score(X_test, y_test)}
+    )
+
+
+def test_table2_boosting_fit(benchmark, all_benchmark):
+    X_train, X_test, y_train, y_test = numeric_features(all_benchmark)
+    model = benchmark(lambda: AdaBoostTrees(10).fit(X_train, y_train))
+    benchmark.extra_info.update(
+        {"classifier": "C4.5-boosting",
+         "accuracy": model.score(X_test, y_test)}
+    )
+
+
+@pytest.mark.parametrize("kernel", ("linear", "poly"))
+def test_table2_svm_fit(benchmark, all_benchmark, kernel):
+    X_train, X_test, y_train, y_test = numeric_features(all_benchmark)
+    model = benchmark(
+        lambda: SVMClassifier(kernel=kernel).fit(X_train, y_train)
+    )
+    benchmark.extra_info.update(
+        {"classifier": f"SVM-{kernel}", "accuracy": model.score(X_test, y_test)}
+    )
+
+
+def test_table2_shape_pc_collapse(pc_benchmark):
+    """On the shifted PC analog, the C4.5 family collapses while RCBT
+    stays accurate — the paper's most distinctive Table 2 row."""
+    X_train, X_test, y_train, y_test = numeric_features(pc_benchmark)
+    tree_accuracy = DecisionTreeC45().fit(X_train, y_train).score(
+        X_test, y_test
+    )
+    rcbt = RCBTClassifier(k=5, nl=10).fit(pc_benchmark.train_items)
+    rcbt_accuracy = rcbt.score(pc_benchmark.test_items)
+    assert rcbt_accuracy >= tree_accuracy + 0.3
+    assert tree_accuracy <= 0.5
+
+
+def test_table2_shape_rcbt_fewer_defaults(all_benchmark):
+    """Section 6.2: RCBT uses the default class less than CBA."""
+    train, test = all_benchmark.train_items, all_benchmark.test_items
+    rcbt = RCBTClassifier(k=5, nl=10).fit(train)
+    cba = CBAClassifier().fit(train)
+    _p, rcbt_sources = rcbt.predict_with_sources(test)
+    _p, cba_sources = cba.predict_with_sources(test)
+    assert rcbt_sources.count("default") <= cba_sources.count("default")

@@ -1,0 +1,75 @@
+"""Biomarker discovery on the prostate-cancer workload (Figure 8 style).
+
+Mines the top-1 covering rule groups of the PC-shaped dataset, extracts
+their shortest lower bounds, and studies which genes those diagnostic
+rules actually use — setting occurrence counts against the chi-square
+gene ranking the way the paper does when it nominates candidate
+biomarkers (M61916, W72186, ... in the original data).
+
+Run:  python examples/biomarker_discovery.py [--scale 0.25]
+"""
+
+import argparse
+
+from repro import find_lower_bounds_batch, mine_topk, relative_minsup
+from repro.analysis import (
+    gene_chi_square_scores,
+    gene_entropy_scores,
+    gene_usage,
+    item_scores,
+    rank_genes,
+)
+from repro.data import generate_paper_dataset
+from repro.data.discretize import EntropyDiscretizer
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.25)
+    parser.add_argument("--nl", type=int, default=20,
+                        help="lower bounds per rule group")
+    args = parser.parse_args()
+
+    train, _test = generate_paper_dataset("PC", scale=args.scale)
+    discretizer = EntropyDiscretizer().fit(train)
+    items = discretizer.transform(train)
+    print(f"PC workload: {items.n_rows} samples, "
+          f"{discretizer.n_selected_genes} genes after discretization")
+
+    scores = item_scores(items, gene_entropy_scores(items))
+    rules = []
+    for class_id in range(items.n_classes):
+        minsup = relative_minsup(items, class_id, 0.7)
+        result = mine_topk(items, class_id, minsup, k=1)
+        groups = result.unique_groups()
+        print(f"  class {items.class_names[class_id]!r}: "
+              f"{len(groups)} distinct top-1 rule groups "
+              f"(minsup={minsup})")
+        for bounds in find_lower_bounds_batch(
+            items, groups, nl=args.nl, item_scores=scores
+        ).values():
+            rules.extend(bounds)
+    print(f"  {len(rules)} lower bound rules extracted")
+
+    usage = gene_usage(items, rules)
+    chi_ranks = rank_genes(gene_chi_square_scores(items))
+    print(f"\n{len(usage)} genes participate in the diagnostic rules.")
+    print("Candidate biomarkers (most used in rules):")
+    ordered = sorted(usage.items(), key=lambda pair: (-pair[1], pair[0]))
+    for gene, count in ordered[:10]:
+        name = train.gene_names[gene]
+        rank = chi_ranks.get(gene, len(chi_ranks))
+        print(f"  {name}: occurs in {count} rules, chi-square rank {rank}")
+
+    low_ranked = [
+        gene
+        for gene, count in usage.items()
+        if chi_ranks.get(gene, 0) > len(chi_ranks) // 2
+    ]
+    print(f"\n{len(low_ranked)} of the rule-forming genes sit in the lower "
+          "half of the chi-square ranking — the paper's observation that "
+          "low-ranked genes supply necessary supplementary signal.")
+
+
+if __name__ == "__main__":
+    main()

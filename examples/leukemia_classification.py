@@ -1,0 +1,73 @@
+"""Leukemia (ALL/AML) diagnosis with RCBT, CBA and the comparator suite.
+
+The paper's flagship application: discretize the expression matrix, build
+the RCBT classifier from top-k covering rule groups, and compare it with
+CBA and the numeric classifiers on held-out samples.  Also prints the
+deployed diagnostic rules — the interpretability the paper argues is
+RCBT's advantage over SVM.
+
+Run:  python examples/leukemia_classification.py [--scale 0.25]
+"""
+
+import argparse
+
+from repro.analysis import evaluate
+from repro.classifiers import (
+    CBAClassifier,
+    DecisionTreeC45,
+    RCBTClassifier,
+    SVMClassifier,
+)
+from repro.data import generate_paper_dataset
+from repro.data.discretize import EntropyDiscretizer
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.25,
+                        help="gene-count scale (1.0 = full Table 1 shape)")
+    args = parser.parse_args()
+
+    train, test = generate_paper_dataset("ALL", scale=args.scale)
+    discretizer = EntropyDiscretizer().fit(train)
+    train_items = discretizer.transform(train)
+    test_items = discretizer.transform(test)
+    print(f"ALL/AML: {train.n_samples} train / {test.n_samples} test "
+          f"samples, {discretizer.n_selected_genes} genes after "
+          f"discretization")
+
+    # Rule-based classifiers on the discretized items.
+    rcbt = RCBTClassifier(k=10, nl=20).fit(train_items)
+    predictions, sources = rcbt.predict_with_sources(test_items)
+    report = evaluate(test_items.labels, predictions, sources)
+    print(f"\nRCBT (k=10, nl=20): {report.summary()}")
+
+    cba = CBAClassifier().fit(train_items)
+    predictions, sources = cba.predict_with_sources(test_items)
+    report = evaluate(test_items.labels, predictions, sources)
+    print(f"CBA  (top-1 RGs):   {report.summary()}")
+
+    # Numeric comparators on the same selected genes, original values.
+    genes = discretizer.selected_genes_
+    X_train, X_test = train.values[:, genes], test.values[:, genes]
+    tree = DecisionTreeC45().fit(X_train, train.labels)
+    print(f"C4.5-style tree:    accuracy={tree.score(X_test, test.labels):.2%}")
+    svm = SVMClassifier(kernel="linear").fit(X_train, train.labels)
+    print(f"Linear SVM:         accuracy={svm.score(X_test, test.labels):.2%}")
+
+    # The interpretable part: the main classifier's diagnostic rules.
+    print("\nRCBT main-classifier rules (first 6):")
+    for rule in rcbt.levels_[0].rules[:6]:
+        condition = " AND ".join(
+            train_items.item_label(item) for item in sorted(rule.antecedent)
+        )
+        label = train_items.class_names[rule.consequent]
+        print(f"  IF {condition} THEN {label} "
+              f"(sup={rule.support}, conf={rule.confidence:.1%})")
+    print(f"\nDefault class: {train_items.class_names[rcbt.default_class_]}; "
+          f"{rcbt.n_levels_} classifier levels built (1 main + "
+          f"{rcbt.n_levels_ - 1} standby)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Head-to-head of the mining algorithms on one workload.
+
+Runs MineTopkRGS (three engines), FARMER (with/without the prefix tree
+and confidence pruning), CHARM and CLOSET+ on the same discretized
+dataset and compares runtimes, enumeration effort, and output volume —
+a miniature of the paper's Section 6.1 narrative: bounded top-k output
+vs. the exploding complete rule-group sets.
+
+Run:  python examples/miner_comparison.py [--scale 0.1] [--fraction 0.8]
+"""
+
+import argparse
+import time
+
+from repro import mine_topk, relative_minsup
+from repro.baselines import mine_charm, mine_closetplus, mine_farmer
+from repro.data import generate_paper_dataset
+from repro.data.discretize import EntropyDiscretizer
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="ALL",
+                        choices=("ALL", "LC", "OC", "PC"))
+    parser.add_argument("--scale", type=float, default=0.1)
+    parser.add_argument("--fraction", type=float, default=0.8,
+                        help="minimum support as a fraction of class 1")
+    parser.add_argument("--budget", type=float, default=30.0,
+                        help="per-miner wall-clock budget in seconds")
+    args = parser.parse_args()
+
+    train, _test = generate_paper_dataset(args.dataset, scale=args.scale)
+    items = EntropyDiscretizer().fit_transform(train)
+    minsup = relative_minsup(items, 1, args.fraction)
+    print(f"{args.dataset} x{args.scale:g}: {items.n_rows} rows, "
+          f"{items.n_items} items, minsup={minsup} "
+          f"({args.fraction:g} of class 1)\n")
+    print(f"{'miner':28s} {'time':>10s} {'output':>8s}  notes")
+
+    def report(name: str, seconds: float, output: int, note: str = "") -> None:
+        print(f"{name:28s} {seconds:9.3f}s {output:8d}  {note}")
+
+    for k in (1, 100):
+        start = time.perf_counter()
+        result = mine_topk(items, 1, minsup, k=k, engine="tree",
+                           time_budget=args.budget)
+        report(f"MineTopkRGS k={k}", time.perf_counter() - start,
+               len(result.unique_groups()),
+               f"{result.stats.nodes_visited} nodes")
+
+    for label, engine, minconf in (
+        ("FARMER", "table", 0.0),
+        ("FARMER minconf=0.9", "table", 0.9),
+        ("FARMER+prefix", "tree", 0.0),
+    ):
+        start = time.perf_counter()
+        result = mine_farmer(items, 1, minsup, minconf=minconf,
+                             engine=engine, time_budget=args.budget)
+        note = "" if result.completed else "BUDGET EXPIRED"
+        report(label, time.perf_counter() - start, len(result.groups), note)
+
+    start = time.perf_counter()
+    charm = mine_charm(items, 1, minsup, node_budget=2_000_000)
+    note = "" if charm.completed else "BUDGET EXPIRED"
+    report("CHARM (diffsets)", time.perf_counter() - start,
+           len(charm.groups), note)
+
+    start = time.perf_counter()
+    closet = mine_closetplus(items, 1, minsup, node_budget=2_000_000)
+    note = "" if closet.completed else "BUDGET EXPIRED"
+    report("CLOSET+", time.perf_counter() - start, len(closet.groups), note)
+
+    print("\nMineTopkRGS output is bounded by k x rows; the exhaustive "
+          "miners' output (and runtime) explodes as minsup drops.\n"
+          "(Column enumeration can win at tiny scales like this demo's — "
+          "its search space grows with the ITEM count, so increase "
+          "--scale or lower --fraction to watch it fall over.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""repro: reproduction of "Mining Top-k Covering Rule Groups for Gene
+Expression Data" (Cong, Tan, Tung, Xu -- SIGMOD 2005).
+
+Public surface:
+
+* :mod:`repro.core` -- MineTopkRGS, rule groups, FindLB, row enumeration;
+* :mod:`repro.data` -- datasets, entropy-MDL discretization, synthetic
+  paper-shaped workloads;
+* :mod:`repro.baselines` -- FARMER, CHARM, CLOSET+ and brute-force
+  oracles;
+* :mod:`repro.classifiers` -- RCBT, CBA, IRG, C4.5 family, SVM;
+* :mod:`repro.analysis` -- gene rankings and evaluation metrics;
+* :mod:`repro.experiments` -- drivers regenerating every table and figure
+  of the paper's evaluation section.
+"""
+
+from .core import (
+    Rule,
+    RuleGroup,
+    TopkResult,
+    mine_topk,
+    relative_minsup,
+)
+from .core.lower_bounds import find_lower_bounds, find_lower_bounds_batch
+from .data import (
+    DiscretizedDataset,
+    EntropyDiscretizer,
+    GeneExpressionDataset,
+    generate_paper_dataset,
+    load_benchmark,
+    make_figure1_example,
+)
+from .errors import MiningBudgetExceeded, NotFittedError, ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DiscretizedDataset",
+    "EntropyDiscretizer",
+    "GeneExpressionDataset",
+    "MiningBudgetExceeded",
+    "NotFittedError",
+    "ReproError",
+    "Rule",
+    "RuleGroup",
+    "TopkResult",
+    "__version__",
+    "find_lower_bounds",
+    "find_lower_bounds_batch",
+    "generate_paper_dataset",
+    "load_benchmark",
+    "make_figure1_example",
+    "mine_topk",
+    "relative_minsup",
+]

@@ -1,0 +1,32 @@
+"""Analysis utilities: gene rankings, metrics, rule statistics."""
+
+from .gene_ranking import (
+    gene_chi_square_scores,
+    gene_entropy_scores,
+    item_scores,
+    rank_genes,
+)
+from .metrics import ClassificationReport, accuracy, confusion_matrix, evaluate
+from .significance import (
+    GroupSummary,
+    coverage_summary,
+    gene_usage,
+    rule_chi_square,
+    summarize_groups,
+)
+
+__all__ = [
+    "ClassificationReport",
+    "GroupSummary",
+    "accuracy",
+    "confusion_matrix",
+    "coverage_summary",
+    "evaluate",
+    "gene_chi_square_scores",
+    "gene_entropy_scores",
+    "gene_usage",
+    "item_scores",
+    "rank_genes",
+    "rule_chi_square",
+    "summarize_groups",
+]

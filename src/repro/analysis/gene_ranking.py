@@ -1,0 +1,110 @@
+"""Gene and item discriminative-power rankings.
+
+Two rankings from the paper:
+
+* the *entropy score* used by FindLB's item ordering (Figure 5 step 1,
+  after Baldi & Brunak [3]) — here the information gain of a gene's
+  discretized partition about the class label; and
+* the *chi-square ranking* of Figure 8, the classic contingency statistic
+  between a gene's discretized intervals and the class labels.
+
+Both operate on a :class:`~repro.data.dataset.DiscretizedDataset`, whose
+item catalog maps items back to genes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import is for annotations only
+    from ..data.dataset import DiscretizedDataset
+
+__all__ = [
+    "gene_entropy_scores",
+    "gene_chi_square_scores",
+    "item_scores",
+    "rank_genes",
+]
+
+
+def _class_entropy(counts: list[int]) -> float:
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    result = 0.0
+    for count in counts:
+        if count:
+            probability = count / total
+            result -= probability * math.log2(probability)
+    return result
+
+
+def _gene_contingency(
+    dataset: "DiscretizedDataset",
+) -> dict[int, dict[int, list[int]]]:
+    """gene index -> item id -> per-class row counts."""
+    n_classes = dataset.n_classes
+    tables: dict[int, dict[int, list[int]]] = {}
+    item_gene = {item.item_id: item.gene_index for item in dataset.items}
+    for row, label in zip(dataset.rows, dataset.labels):
+        for item in row:
+            gene = item_gene[item]
+            per_item = tables.setdefault(gene, {})
+            counts = per_item.setdefault(item, [0] * n_classes)
+            counts[label] += 1
+    return tables
+
+
+def gene_entropy_scores(dataset: "DiscretizedDataset") -> dict[int, float]:
+    """Information gain of each gene's item partition (higher = better).
+
+    ``IG(gene) = H(class) - Σ_item p(item) · H(class | item)`` computed
+    over the dataset's rows.  Genes not represented by any item score 0.
+    """
+    n_rows = dataset.n_rows
+    base = _class_entropy(dataset.class_counts())
+    scores: dict[int, float] = {}
+    for gene, per_item in _gene_contingency(dataset).items():
+        conditional = 0.0
+        for counts in per_item.values():
+            weight = sum(counts) / n_rows
+            conditional += weight * _class_entropy(counts)
+        scores[gene] = base - conditional
+    return scores
+
+
+def gene_chi_square_scores(dataset: "DiscretizedDataset") -> dict[int, float]:
+    """Chi-square statistic of each gene's intervals vs. the class label.
+
+    Higher means more class-correlated; used for the Figure 8 ranking.
+    """
+    class_counts = dataset.class_counts()
+    n_rows = dataset.n_rows
+    scores: dict[int, float] = {}
+    for gene, per_item in _gene_contingency(dataset).items():
+        statistic = 0.0
+        for counts in per_item.values():
+            item_total = sum(counts)
+            for class_id, observed in enumerate(counts):
+                expected = item_total * class_counts[class_id] / n_rows
+                if expected > 0:
+                    statistic += (observed - expected) ** 2 / expected
+        scores[gene] = statistic
+    return scores
+
+
+def item_scores(
+    dataset: "DiscretizedDataset", gene_scores: dict[int, float]
+) -> dict[int, float]:
+    """Lift a per-gene score onto items (each item inherits its gene's)."""
+    return {
+        item.item_id: gene_scores.get(item.gene_index, 0.0)
+        for item in dataset.items
+    }
+
+
+def rank_genes(scores: dict[int, float]) -> dict[int, int]:
+    """1-based ranks, best (highest score) first; ties broken by index."""
+    ordered = sorted(scores.items(), key=lambda pair: (-pair[1], pair[0]))
+    return {gene: rank for rank, (gene, _score) in enumerate(ordered, start=1)}

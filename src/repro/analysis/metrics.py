@@ -1,0 +1,99 @@
+"""Evaluation metrics for the classification experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+__all__ = ["accuracy", "confusion_matrix", "ClassificationReport", "evaluate"]
+
+
+def accuracy(y_true: Sequence[int], y_pred: Sequence[int]) -> float:
+    """Fraction of correct predictions (empty input -> 0.0)."""
+    if len(y_true) != len(y_pred):
+        raise ValueError(
+            f"length mismatch: {len(y_true)} labels vs {len(y_pred)} predictions"
+        )
+    if not y_true:
+        return 0.0
+    correct = sum(1 for t, p in zip(y_true, y_pred) if t == p)
+    return correct / len(y_true)
+
+
+def confusion_matrix(
+    y_true: Sequence[int], y_pred: Sequence[int], n_classes: Optional[int] = None
+) -> list[list[int]]:
+    """Row = true class, column = predicted class."""
+    if n_classes is None:
+        n_classes = max([*y_true, *y_pred], default=-1) + 1
+    matrix = [[0] * n_classes for _ in range(n_classes)]
+    for t, p in zip(y_true, y_pred):
+        matrix[t][p] += 1
+    return matrix
+
+
+@dataclass
+class ClassificationReport:
+    """Accuracy plus the default-class bookkeeping Section 6.2 reports."""
+
+    accuracy: float
+    n_samples: int
+    n_errors: int
+    confusion: list[list[int]]
+    default_class_used: int = 0
+    default_class_errors: int = 0
+    standby_used: int = 0
+    standby_errors: int = 0
+    details: dict = field(default_factory=dict)
+
+    def summary(self) -> str:
+        parts = [
+            f"accuracy={self.accuracy:.2%} ({self.n_samples - self.n_errors}"
+            f"/{self.n_samples})"
+        ]
+        if self.default_class_used:
+            parts.append(
+                f"default class used on {self.default_class_used} "
+                f"({self.default_class_errors} errors)"
+            )
+        if self.standby_used:
+            parts.append(
+                f"standby classifiers used on {self.standby_used} "
+                f"({self.standby_errors} errors)"
+            )
+        return "; ".join(parts)
+
+
+def evaluate(
+    y_true: Sequence[int],
+    y_pred: Sequence[int],
+    decision_sources: Optional[Sequence[str]] = None,
+    n_classes: Optional[int] = None,
+) -> ClassificationReport:
+    """Build a report; ``decision_sources`` tags each prediction.
+
+    Recognised tags: ``"main"``, ``"standby"``, ``"default"`` — rule-based
+    classifiers in this package report them so the experiments can
+    reproduce the paper's default-class usage comparison.
+    """
+    acc = accuracy(y_true, y_pred)
+    errors = sum(1 for t, p in zip(y_true, y_pred) if t != p)
+    report = ClassificationReport(
+        accuracy=acc,
+        n_samples=len(y_true),
+        n_errors=errors,
+        confusion=confusion_matrix(y_true, y_pred, n_classes),
+    )
+    if decision_sources is not None:
+        if len(decision_sources) != len(y_true):
+            raise ValueError("decision_sources length mismatch")
+        for t, p, source in zip(y_true, y_pred, decision_sources):
+            if source == "default":
+                report.default_class_used += 1
+                if t != p:
+                    report.default_class_errors += 1
+            elif source == "standby":
+                report.standby_used += 1
+                if t != p:
+                    report.standby_errors += 1
+    return report

@@ -1,0 +1,121 @@
+"""Descriptive statistics over collections of rules and rule groups.
+
+Used by the examples and experiment drivers to summarize mining output
+the way the paper discusses it: how many distinct groups, how long their
+upper/lower bounds are, how well the per-row lists cover the data, and
+which genes the deployed rules actually use (Figure 8's occurrence
+counts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from ..core.rules import Rule, RuleGroup
+
+if TYPE_CHECKING:  # pragma: no cover - import is for annotations only
+    from ..data.dataset import DiscretizedDataset
+
+__all__ = ["GroupSummary", "summarize_groups", "coverage_summary", "gene_usage"]
+
+
+@dataclass
+class GroupSummary:
+    """Aggregate statistics of a rule group collection."""
+
+    n_groups: int
+    min_support: int
+    max_support: int
+    min_confidence: float
+    max_confidence: float
+    mean_antecedent_length: float
+
+    def describe(self) -> str:
+        if not self.n_groups:
+            return "no rule groups"
+        return (
+            f"{self.n_groups} groups; support [{self.min_support}, "
+            f"{self.max_support}]; confidence [{self.min_confidence:.3f}, "
+            f"{self.max_confidence:.3f}]; mean upper-bound length "
+            f"{self.mean_antecedent_length:.1f}"
+        )
+
+
+def summarize_groups(groups: Sequence[RuleGroup]) -> GroupSummary:
+    """Summarize a collection of rule groups."""
+    if not groups:
+        return GroupSummary(0, 0, 0, 0.0, 0.0, 0.0)
+    supports = [group.support for group in groups]
+    confidences = [group.confidence for group in groups]
+    lengths = [len(group.antecedent) for group in groups]
+    return GroupSummary(
+        n_groups=len(groups),
+        min_support=min(supports),
+        max_support=max(supports),
+        min_confidence=min(confidences),
+        max_confidence=max(confidences),
+        mean_antecedent_length=sum(lengths) / len(lengths),
+    )
+
+
+def coverage_summary(per_row: dict[int, list[RuleGroup]]) -> dict[str, float]:
+    """How completely the per-row top-k lists cover their rows."""
+    n_rows = len(per_row)
+    if not n_rows:
+        return {"rows": 0, "covered": 0, "coverage": 0.0, "mean_list_length": 0.0}
+    covered = sum(1 for groups in per_row.values() if groups)
+    total_entries = sum(len(groups) for groups in per_row.values())
+    return {
+        "rows": n_rows,
+        "covered": covered,
+        "coverage": covered / n_rows,
+        "mean_list_length": total_entries / n_rows,
+    }
+
+
+def gene_usage(
+    dataset: "DiscretizedDataset", rules: Iterable[Rule]
+) -> dict[int, int]:
+    """Gene index -> number of rule antecedents using one of its items.
+
+    This is the "frequency of occurrence" axis of Figure 8, computed over
+    the deployed (lower bound) rules of a classifier.
+    """
+    item_gene = {item.item_id: item.gene_index for item in dataset.items}
+    counts: dict[int, int] = {}
+    for rule in rules:
+        genes = {item_gene[item] for item in rule.antecedent}
+        for gene in genes:
+            counts[gene] = counts.get(gene, 0) + 1
+    return counts
+
+
+def rule_chi_square(
+    n_rows: int, class_rows: int, antecedent_rows: int, support: int
+) -> float:
+    """Chi-square statistic of one rule ``A -> C`` on its 2x2 table.
+
+    Args:
+        n_rows: dataset size.
+        class_rows: rows of the consequent class.
+        antecedent_rows: ``|R(A)|``.
+        support: ``|R(A ∪ C)|``.
+
+    FARMER [6] accepts a rule group only if this statistic clears a
+    user threshold; :func:`repro.baselines.farmer.mine_farmer` exposes it
+    as ``min_chi_square``.
+    """
+    observed = [
+        [support, antecedent_rows - support],
+        [class_rows - support, n_rows - class_rows - antecedent_rows + support],
+    ]
+    row_totals = [antecedent_rows, n_rows - antecedent_rows]
+    column_totals = [class_rows, n_rows - class_rows]
+    statistic = 0.0
+    for i in range(2):
+        for j in range(2):
+            expected = row_totals[i] * column_totals[j] / n_rows
+            if expected > 0:
+                statistic += (observed[i][j] - expected) ** 2 / expected
+    return statistic

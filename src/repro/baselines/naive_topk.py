@@ -1,0 +1,105 @@
+"""Brute-force reference implementations used as test oracles.
+
+These deliberately trade efficiency for obviousness: all closed rule
+groups of a (small) dataset are found by enumerating every subset of rows
+and closing it through the Galois connection ``T -> I(T) -> R(I(T))``.
+The per-row top-k lists are then computed by sorting — the "naive method"
+the paper dismisses in Section 3, which is exactly what makes it a good
+independent oracle for MineTopkRGS and FARMER.
+
+Only use on datasets with at most ~15 rows.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import TYPE_CHECKING
+
+from ..core.bitset import popcount
+from ..core.rules import RuleGroup
+from ..core.view import MiningView
+
+if TYPE_CHECKING:  # pragma: no cover - import is for annotations only
+    from ..data.dataset import DiscretizedDataset
+
+__all__ = ["enumerate_closed_groups", "naive_topk", "naive_farmer"]
+
+_MAX_ORACLE_ROWS = 18
+
+
+def enumerate_closed_groups(
+    dataset: "DiscretizedDataset", consequent: int, minsup: int
+) -> list[RuleGroup]:
+    """Every closed rule group with the given consequent and support.
+
+    Works over the same frequent-item-reduced row space as the real
+    miners (Figure 3 step 1), so outputs are directly comparable.  Row
+    bitsets are in original row ids.
+    """
+    if dataset.n_rows > _MAX_ORACLE_ROWS:
+        raise ValueError(
+            f"oracle limited to {_MAX_ORACLE_ROWS} rows, got {dataset.n_rows}"
+        )
+    view = MiningView(dataset, consequent, minsup)
+    n = view.n_rows
+    groups: dict[int, RuleGroup] = {}
+    for size in range(1, n + 1):
+        for subset in combinations(range(n), size):
+            items = view.row_items[subset[0]]
+            for position in subset[1:]:
+                items = items & view.row_items[position]
+                if not items:
+                    break
+            if not items:
+                continue
+            closure = view.closure_rows(sorted(items))
+            if closure is None or closure in groups:
+                continue
+            support = view.positive_count(closure)
+            if support < minsup:
+                continue
+            total = popcount(closure)
+            groups[closure] = RuleGroup(
+                antecedent=frozenset(items),
+                consequent=consequent,
+                row_set=view.positions_to_rows(closure),
+                support=support,
+                confidence=support / total,
+            )
+    return list(groups.values())
+
+
+def naive_topk(
+    dataset: "DiscretizedDataset", consequent: int, minsup: int, k: int
+) -> dict[int, list[RuleGroup]]:
+    """Per-row top-k covering rule groups via mine-everything-then-sort.
+
+    Tie order among equally significant groups is unspecified (as in the
+    paper, where it depends on discovery order), so comparisons against
+    the real miner should use the multiset of (confidence, support) pairs
+    rather than antecedent identity.
+    """
+    groups = enumerate_closed_groups(dataset, consequent, minsup)
+    result: dict[int, list[RuleGroup]] = {}
+    for row in range(dataset.n_rows):
+        if dataset.labels[row] != consequent:
+            continue
+        row_bit = 1 << row
+        covering = [group for group in groups if group.row_set & row_bit]
+        covering.sort(key=lambda g: (g.confidence, g.support), reverse=True)
+        result[row] = covering[:k]
+    return result
+
+
+def naive_farmer(
+    dataset: "DiscretizedDataset",
+    consequent: int,
+    minsup: int,
+    minconf: float = 0.0,
+) -> list[RuleGroup]:
+    """All rule groups above static thresholds (FARMER's contract)."""
+    return [
+        group
+        for group in enumerate_closed_groups(dataset, consequent, minsup)
+        if group.confidence >= minconf
+    ]

@@ -1,0 +1,29 @@
+"""Classifiers: RCBT, CBA, IRG and the numeric comparators of Table 2."""
+
+from .base import NumericClassifier, RuleBasedClassifier
+from .cba import CBAClassifier
+from .ensemble import AdaBoostTrees, BaggingTrees
+from .irg import IRGClassifier
+from .persistence import load_classifier, save_classifier
+from .rcbt import ClassifierLevel, RCBTClassifier
+from .selection import SelectedRules, cba_select, majority_class
+from .svm import SVMClassifier
+from .tree import DecisionTreeC45
+
+__all__ = [
+    "AdaBoostTrees",
+    "BaggingTrees",
+    "CBAClassifier",
+    "ClassifierLevel",
+    "DecisionTreeC45",
+    "IRGClassifier",
+    "NumericClassifier",
+    "RCBTClassifier",
+    "RuleBasedClassifier",
+    "SVMClassifier",
+    "SelectedRules",
+    "cba_select",
+    "load_classifier",
+    "majority_class",
+    "save_classifier",
+]

@@ -1,0 +1,97 @@
+"""Classifier interfaces.
+
+Two families coexist in the experiments:
+
+* rule-based classifiers (CBA, IRG, RCBT) consume
+  :class:`~repro.data.dataset.DiscretizedDataset` objects whose item
+  catalog is shared between the train and test splits;
+* numeric classifiers (C4.5 family, SVM) consume plain float matrices —
+  in the paper's protocol, the original expression values of the genes
+  the entropy discretization selected.
+
+Both expose scikit-style ``fit``/``predict``.  Rule-based classifiers
+additionally report per-prediction *decision sources* (``main``,
+``standby``, ``default``) so the experiments can reproduce the paper's
+default-class usage discussion.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from ..errors import NotFittedError
+
+if TYPE_CHECKING:  # pragma: no cover - import is for annotations only
+    from ..data.dataset import DiscretizedDataset
+
+__all__ = ["RuleBasedClassifier", "NumericClassifier"]
+
+
+class RuleBasedClassifier(ABC):
+    """Base class for classifiers built from association rules."""
+
+    _fitted = False
+
+    @abstractmethod
+    def fit(self, train: "DiscretizedDataset") -> "RuleBasedClassifier":
+        """Train on a discretized dataset; returns self."""
+
+    @abstractmethod
+    def predict_row(self, row_items: frozenset[int]) -> tuple[int, str]:
+        """Predict one itemized row; returns (class id, decision source)."""
+
+    def _check_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError(f"{type(self).__name__} is not fitted")
+
+    def predict(self, dataset: "DiscretizedDataset") -> list[int]:
+        """Predict every row of a dataset sharing the training catalog."""
+        return [self.predict_row(row)[0] for row in dataset.rows]
+
+    def predict_with_sources(
+        self, dataset: "DiscretizedDataset"
+    ) -> tuple[list[int], list[str]]:
+        """Predictions plus their decision sources."""
+        self._check_fitted()
+        predictions: list[int] = []
+        sources: list[str] = []
+        for row in dataset.rows:
+            label, source = self.predict_row(row)
+            predictions.append(label)
+            sources.append(source)
+        return predictions, sources
+
+    def score(self, dataset: "DiscretizedDataset") -> float:
+        """Accuracy on a labelled dataset."""
+        predictions = self.predict(dataset)
+        correct = sum(1 for p, t in zip(predictions, dataset.labels) if p == t)
+        return correct / len(predictions) if predictions else 0.0
+
+
+class NumericClassifier(ABC):
+    """Base class for classifiers over continuous feature matrices."""
+
+    _fitted = False
+
+    @abstractmethod
+    def fit(
+        self, X: np.ndarray, y: Sequence[int]
+    ) -> "NumericClassifier":
+        """Train on (n_samples, n_features) values; returns self."""
+
+    @abstractmethod
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted class ids for each row of ``X``."""
+
+    def _check_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError(f"{type(self).__name__} is not fitted")
+
+    def score(self, X: np.ndarray, y: Sequence[int]) -> float:
+        """Accuracy on labelled data."""
+        predictions = self.predict(X)
+        y = np.asarray(y)
+        return float((predictions == y).mean()) if len(y) else 0.0

@@ -1,0 +1,136 @@
+"""Save and load trained rule-based classifiers as JSON.
+
+Rule-based models are just rules, scores and a default class, so they
+serialize cleanly; a clinician-facing deployment wants to train once on
+the lab's data and ship the (human-auditable) rule file.  The JSON keeps
+item ids; pair it with the discretizer's item catalog
+(:func:`repro.data.loaders.save_discretized`) for rendering.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from ..core.rules import Rule
+from .cba import CBAClassifier
+from .rcbt import ClassifierLevel, RCBTClassifier
+from .selection import SelectedRules
+
+__all__ = ["save_classifier", "load_classifier"]
+
+_FORMAT_VERSION = 1
+
+
+def _rule_to_payload(rule: Rule) -> dict:
+    return {
+        "antecedent": sorted(rule.antecedent),
+        "consequent": rule.consequent,
+        "support": rule.support,
+        "confidence": rule.confidence,
+    }
+
+
+def _rule_from_payload(payload: dict) -> Rule:
+    return Rule(
+        antecedent=frozenset(payload["antecedent"]),
+        consequent=payload["consequent"],
+        support=payload["support"],
+        confidence=payload["confidence"],
+    )
+
+
+def save_classifier(
+    model: Union[CBAClassifier, RCBTClassifier], path: str | Path
+) -> None:
+    """Write a fitted CBA or RCBT classifier to ``path`` as JSON.
+
+    Raises:
+        NotFittedError: if the model has not been trained.
+        TypeError: for unsupported classifier types.
+    """
+    model._check_fitted()
+    if isinstance(model, RCBTClassifier):
+        payload = {
+            "format": _FORMAT_VERSION,
+            "kind": "rcbt",
+            "k": model.k,
+            "nl": model.nl,
+            "default_class": model.default_class_,
+            "use_voting": model.use_voting,
+            "class_counts": model._class_counts,
+            "levels": [
+                {
+                    "rules": [_rule_to_payload(rule) for rule in level.rules],
+                    "score_norms": level.score_norms,
+                }
+                for level in model.levels_
+            ],
+        }
+    elif isinstance(model, CBAClassifier):
+        assert model.selected_ is not None
+        payload = {
+            "format": _FORMAT_VERSION,
+            "kind": "cba",
+            "default_class": model.selected_.default_class,
+            "training_errors": model.selected_.training_errors,
+            "rules": [
+                _rule_to_payload(rule) for rule in model.selected_.rules
+            ],
+        }
+    else:
+        raise TypeError(
+            f"cannot serialize classifier of type {type(model).__name__}"
+        )
+    Path(path).write_text(json.dumps(payload, indent=1), encoding="utf-8")
+
+
+def load_classifier(path: str | Path) -> Union[CBAClassifier, RCBTClassifier]:
+    """Load a classifier written by :func:`save_classifier`.
+
+    The returned model predicts identically to the saved one; training
+    artifacts that are not needed for prediction (mining results,
+    candidate pools) are not restored.
+    """
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    version = payload.get("format")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported classifier file format: {version!r}")
+    kind = payload.get("kind")
+    if kind == "rcbt":
+        model = RCBTClassifier(
+            k=payload["k"], nl=payload["nl"], use_voting=payload["use_voting"]
+        )
+        model.default_class_ = payload["default_class"]
+        model._class_counts = list(payload["class_counts"])
+        model.levels_ = []
+        model._level_scores = []
+        for level_payload in payload["levels"]:
+            rules = [
+                _rule_from_payload(entry) for entry in level_payload["rules"]
+            ]
+            model.levels_.append(
+                ClassifierLevel(
+                    rules=rules,
+                    score_norms=list(level_payload["score_norms"]),
+                )
+            )
+            model._level_scores.append(
+                {
+                    index: model._rule_score(rule)
+                    for index, rule in enumerate(rules)
+                }
+            )
+        model._fitted = True
+        return model
+    if kind == "cba":
+        model = CBAClassifier()
+        model.selected_ = SelectedRules(
+            rules=[_rule_from_payload(entry) for entry in payload["rules"]],
+            default_class=payload["default_class"],
+            training_errors=payload["training_errors"],
+        )
+        model._fitted = True
+        return model
+    raise ValueError(f"unknown classifier kind: {kind!r}")

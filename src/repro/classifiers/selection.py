@@ -1,0 +1,201 @@
+"""CBA's rule sorting, coverage test and error-minimizing truncation.
+
+Steps 2-4 of Section 2.2, shared by every rule-based classifier here
+(CBA, IRG and each level of RCBT):
+
+* rules are sorted by the total order ``≺`` — confidence, then support,
+  then shorter antecedent, then discovery order;
+* each rule in turn is kept iff it correctly classifies at least one
+  still-uncovered training row; rows it covers (of any class) are then
+  removed;
+* after each kept rule the running error of "classifier so far + default
+  class" is recorded, and the final classifier is the prefix minimizing
+  that error, together with the default class recorded at the cut point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from ..core.bitset import mask_below, popcount
+from ..core.rules import Rule, RuleGroup, cba_sort_key
+
+if TYPE_CHECKING:  # pragma: no cover - import is for annotations only
+    from ..data.dataset import DiscretizedDataset
+
+__all__ = [
+    "SelectedRules",
+    "SelectedGroups",
+    "cba_select",
+    "cba_select_groups",
+    "majority_class",
+]
+
+
+@dataclass
+class SelectedRules:
+    """A pruned, ordered rule list plus its default class."""
+
+    rules: list[Rule]
+    default_class: int
+    training_errors: int
+
+    def first_match(self, row_items: frozenset[int]) -> Rule | None:
+        """The highest-precedence rule matching the row, if any."""
+        for rule in self.rules:
+            if rule.antecedent <= row_items:
+                return rule
+        return None
+
+
+def majority_class(labels: Sequence[int], n_classes: int) -> int:
+    """Most frequent class; ties broken toward the smaller id."""
+    counts = [0] * n_classes
+    for label in labels:
+        counts[label] += 1
+    return max(range(n_classes), key=lambda c: (counts[c], -c))
+
+
+def cba_select(rules: Sequence[Rule], dataset: "DiscretizedDataset") -> SelectedRules:
+    """Run the CBA coverage test over ``rules`` against ``dataset``.
+
+    Args:
+        rules: candidate rules in discovery order (the order is the final
+            ``≺`` tie-breaker).
+        dataset: training data the coverage test runs on.
+
+    Returns:
+        The error-minimizing rule prefix and default class.  With no
+        usable rules the classifier is empty and the default class is the
+        training majority.
+    """
+    n_classes = dataset.n_classes
+    n_rows = dataset.n_rows
+    class_masks = [dataset.class_mask(c) for c in range(n_classes)]
+    ordered = sorted(
+        ((rule, index) for index, rule in enumerate(rules)),
+        key=lambda pair: cba_sort_key(pair[0], pair[1]),
+    )
+
+    remaining = mask_below(n_rows)
+    selected: list[Rule] = []
+    # Per kept rule: (cumulative rule errors, default class, total errors).
+    checkpoints: list[tuple[int, int, int]] = []
+    rule_errors = 0
+    for rule, _index in ordered:
+        if not remaining:
+            break
+        covered = dataset.support_set(rule.antecedent) & remaining
+        if not covered:
+            continue
+        correct = covered & class_masks[rule.consequent]
+        if not correct:
+            continue
+        selected.append(rule)
+        rule_errors += popcount(covered) - popcount(correct)
+        remaining &= ~covered
+        default = max(
+            range(n_classes),
+            key=lambda c: (popcount(remaining & class_masks[c]), -c),
+        )
+        default_errors = popcount(remaining) - popcount(remaining & class_masks[default])
+        checkpoints.append((rule_errors, default, rule_errors + default_errors))
+
+    overall_default = majority_class(dataset.labels, n_classes)
+    if not selected:
+        base_errors = n_rows - popcount(class_masks[overall_default])
+        return SelectedRules([], overall_default, base_errors)
+
+    best_index = min(range(len(checkpoints)), key=lambda i: checkpoints[i][2])
+    _, best_default, best_total = checkpoints[best_index]
+    return SelectedRules(selected[: best_index + 1], best_default, best_total)
+
+
+@dataclass
+class SelectedGroups:
+    """A pruned, ordered rule-group list plus its default class.
+
+    Used by RCBT, whose coverage test runs at rule-group granularity: all
+    lower bounds of one group match exactly the same training rows (their
+    shared support set), so removing covered rows after the first of them
+    would spuriously prune the other ``nl - 1`` — and make the collective
+    vote degenerate to first-match.
+    """
+
+    groups: list[RuleGroup]
+    default_class: int
+    training_errors: int
+
+
+def cba_select_groups(
+    groups: Sequence[RuleGroup],
+    dataset: "DiscretizedDataset",
+    error_cut: bool = False,
+) -> SelectedGroups:
+    """CBA's sort and coverage test over whole rule groups.
+
+    A group "matches" a training row iff the row is in its support set,
+    which is identical for every member rule of the group; the selection
+    is therefore exactly CBA's Step 3 applied once per group instead of
+    once per lower bound.  RCBT levels use Step 3 *only* ("sorted and
+    pruned (as in Step 3)", Section 5.2) — applying Step 4's error cut
+    would truncate a level to its first perfect group and leave the
+    opposing class without voters; pass ``error_cut=True`` to get the
+    full CBA behaviour anyway.
+    """
+    n_classes = dataset.n_classes
+    n_rows = dataset.n_rows
+    class_masks = [dataset.class_mask(c) for c in range(n_classes)]
+    ordered = sorted(
+        enumerate(groups),
+        key=lambda pair: (-pair[1].confidence, -pair[1].support, pair[0]),
+    )
+
+    remaining = mask_below(n_rows)
+    selected: list[RuleGroup] = []
+    checkpoints: list[tuple[int, int, int]] = []
+    group_errors = 0
+    for _index, group in ordered:
+        if not remaining:
+            break
+        covered = group.row_set & remaining
+        if not covered:
+            continue
+        correct = covered & class_masks[group.consequent]
+        if not correct:
+            continue
+        selected.append(group)
+        group_errors += popcount(covered) - popcount(correct)
+        remaining &= ~covered
+        default = max(
+            range(n_classes),
+            key=lambda c: (popcount(remaining & class_masks[c]), -c),
+        )
+        default_errors = popcount(remaining) - popcount(
+            remaining & class_masks[default]
+        )
+        checkpoints.append((group_errors, default, group_errors + default_errors))
+
+    overall_default = majority_class(dataset.labels, n_classes)
+    if not selected:
+        base_errors = n_rows - popcount(class_masks[overall_default])
+        return SelectedGroups([], overall_default, base_errors)
+
+    if error_cut:
+        best_index = min(range(len(checkpoints)), key=lambda i: checkpoints[i][2])
+        _, best_default, best_total = checkpoints[best_index]
+        return SelectedGroups(selected[: best_index + 1], best_default, best_total)
+
+    # Coverage test only: keep every group that earned its place.  The
+    # default class is the majority of whatever stayed uncovered (the
+    # overall majority when nothing did).
+    if remaining:
+        final_default = max(
+            range(n_classes),
+            key=lambda c: (popcount(remaining & class_masks[c]), -c),
+        )
+    else:
+        final_default = overall_default
+    final_errors = checkpoints[-1][2] if checkpoints else 0
+    return SelectedGroups(selected, final_default, final_errors)

@@ -1,0 +1,261 @@
+"""Command-line interface: ``repro <command> [options]``.
+
+Commands:
+
+* ``generate``   — write a synthetic paper-shaped dataset to TSV files;
+* ``discretize`` — entropy-MDL discretize a TSV dataset into an item file;
+* ``mine``       — mine top-k covering rule groups from an item file;
+* ``classify``   — train a classifier on one TSV and evaluate on another
+  (``--save`` persists a trained rule classifier and its pipeline);
+* ``predict``    — apply a saved rule classifier to new samples;
+* ``experiments``— forward to the table/figure drivers.
+
+All file formats are the plain-text formats of :mod:`repro.data.loaders`
+(TSV with a JSON header line for expression matrices, JSON for
+discretized items), so every intermediate is inspectable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+import json
+
+from .analysis.metrics import evaluate
+from .classifiers import (
+    AdaBoostTrees,
+    BaggingTrees,
+    CBAClassifier,
+    DecisionTreeC45,
+    IRGClassifier,
+    RCBTClassifier,
+    SVMClassifier,
+)
+from .core.topk_miner import mine_topk, relative_minsup
+from .data.discretize import EntropyDiscretizer
+from .data.loaders import (
+    load_discretized,
+    load_expression,
+    save_discretized,
+    save_expression,
+)
+from .data.synthetic import PAPER_DATASETS, generate_paper_dataset
+
+__all__ = ["main"]
+
+_RULE_CLASSIFIERS = {
+    "rcbt": lambda args: RCBTClassifier(k=args.k, nl=args.nl),
+    "cba": lambda args: CBAClassifier(),
+    "irg": lambda args: IRGClassifier(),
+}
+_NUMERIC_CLASSIFIERS = {
+    "tree": lambda args: DecisionTreeC45(),
+    "bagging": lambda args: BaggingTrees(10),
+    "boosting": lambda args: AdaBoostTrees(10),
+    "svm": lambda args: SVMClassifier(kernel=args.kernel),
+}
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    train, test = generate_paper_dataset(args.dataset, scale=args.scale)
+    out = Path(args.output)
+    out.mkdir(parents=True, exist_ok=True)
+    train_path = out / f"{args.dataset}_train.tsv"
+    test_path = out / f"{args.dataset}_test.tsv"
+    save_expression(train, train_path)
+    save_expression(test, test_path)
+    print(f"wrote {train_path} ({train.n_samples} samples x "
+          f"{train.n_genes} genes)")
+    print(f"wrote {test_path} ({test.n_samples} samples)")
+    return 0
+
+
+def _cmd_discretize(args: argparse.Namespace) -> int:
+    train = load_expression(args.train)
+    discretizer = EntropyDiscretizer().fit(train)
+    save_discretized(discretizer.transform(train), args.output)
+    print(f"{discretizer.n_selected_genes} genes kept "
+          f"({len(discretizer.items_)} items); wrote {args.output}")
+    if args.test and args.test_output:
+        test = load_expression(args.test)
+        save_discretized(discretizer.transform(test), args.test_output)
+        print(f"wrote {args.test_output}")
+    return 0
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    dataset = load_discretized(args.items)
+    if args.minsup is not None:
+        minsup = args.minsup
+    else:
+        minsup = relative_minsup(dataset, args.consequent,
+                                 args.minsup_fraction)
+    result = mine_topk(
+        dataset, args.consequent, minsup, k=args.k, engine=args.engine
+    )
+    print(f"top-{args.k} covering rule groups "
+          f"(consequent={dataset.class_names[args.consequent]}, "
+          f"minsup={minsup}, {result.stats.nodes_visited} nodes):")
+    for row, groups in sorted(result.per_row.items()):
+        for rank, group in enumerate(groups, start=1):
+            items = ", ".join(
+                dataset.item_label(i) for i in sorted(group.antecedent)[:4]
+            )
+            extra = len(group.antecedent) - 4
+            suffix = f", ...(+{extra})" if extra > 0 else ""
+            print(f"  row {row} #{rank}: {{{items}{suffix}}} "
+                  f"sup={group.support} conf={group.confidence:.3f}")
+    return 0
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    train = load_expression(args.train)
+    test = load_expression(args.test)
+    discretizer = EntropyDiscretizer().fit(train)
+    if args.classifier in _RULE_CLASSIFIERS:
+        model = _RULE_CLASSIFIERS[args.classifier](args)
+        model.fit(discretizer.transform(train))
+        predictions, sources = model.predict_with_sources(
+            discretizer.transform(test)
+        )
+        report = evaluate(list(test.labels), predictions, sources)
+    else:
+        genes = discretizer.selected_genes_
+        model = _NUMERIC_CLASSIFIERS[args.classifier](args)
+        model.fit(train.values[:, genes], train.labels)
+        predictions = list(model.predict(test.values[:, genes]))
+        report = evaluate(list(test.labels), predictions)
+    print(f"{args.classifier}: {report.summary()}")
+    if args.save:
+        if args.classifier not in ("rcbt", "cba"):
+            print("--save supports only rcbt and cba", file=sys.stderr)
+            return 2
+        from .classifiers.persistence import save_classifier
+
+        save_classifier(model, args.save)
+        pipeline_path = Path(args.save).with_suffix(".pipeline.json")
+        pipeline_path.write_text(json.dumps({
+            "cuts": {str(g): c for g, c in discretizer.cuts_.items()},
+            "gene_names": train.gene_names,
+            "class_names": train.class_names,
+        }), encoding="utf-8")
+        print(f"saved model to {args.save} and pipeline to {pipeline_path}")
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    from .classifiers.persistence import load_classifier
+
+    pipeline = json.loads(Path(args.pipeline).read_text(encoding="utf-8"))
+    discretizer = EntropyDiscretizer.from_cuts(
+        {int(g): c for g, c in pipeline["cuts"].items()},
+        pipeline["gene_names"],
+        pipeline["class_names"],
+    )
+    model = load_classifier(args.model)
+    data = load_expression(args.data)
+    items = discretizer.transform(data)
+    predictions, sources = model.predict_with_sources(items)
+    class_names = pipeline["class_names"]
+    for index, (label, source) in enumerate(zip(predictions, sources)):
+        print(f"sample {index}: {class_names[label]} ({source})")
+    if len(set(data.labels)) > 1 or data.n_samples:
+        report = evaluate(list(data.labels), predictions, sources)
+        print(report.summary())
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from .experiments.__main__ import main as experiments_main
+
+    return experiments_main([args.experiment, *args.rest])
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Top-k covering rule groups for gene expression data "
+                    "(SIGMOD 2005 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="write a synthetic paper-shaped dataset"
+    )
+    generate.add_argument("dataset", choices=sorted(PAPER_DATASETS))
+    generate.add_argument("--scale", type=float, default=1.0)
+    generate.add_argument("--output", default=".")
+    generate.set_defaults(handler=_cmd_generate)
+
+    discretize = commands.add_parser(
+        "discretize", help="entropy-MDL discretize a TSV dataset"
+    )
+    discretize.add_argument("train", help="training TSV (cuts are fitted here)")
+    discretize.add_argument("--output", required=True, help="items JSON")
+    discretize.add_argument("--test", help="optional test TSV")
+    discretize.add_argument("--test-output", help="items JSON for the test split")
+    discretize.set_defaults(handler=_cmd_discretize)
+
+    mine = commands.add_parser(
+        "mine", help="mine top-k covering rule groups from an item file"
+    )
+    mine.add_argument("items", help="discretized items JSON")
+    mine.add_argument("--consequent", type=int, default=1)
+    mine.add_argument("--k", type=int, default=1)
+    mine.add_argument("--minsup", type=int, default=None,
+                      help="absolute minimum support")
+    mine.add_argument("--minsup-fraction", type=float, default=0.7,
+                      help="used when --minsup is not given")
+    mine.add_argument("--engine", choices=("bitset", "table", "tree"),
+                      default="bitset")
+    mine.set_defaults(handler=_cmd_mine)
+
+    classify = commands.add_parser(
+        "classify", help="train on one TSV, evaluate on another"
+    )
+    classify.add_argument("classifier",
+                          choices=(*_RULE_CLASSIFIERS, *_NUMERIC_CLASSIFIERS))
+    classify.add_argument("--train", required=True)
+    classify.add_argument("--test", required=True)
+    classify.add_argument("--k", type=int, default=10)
+    classify.add_argument("--nl", type=int, default=20)
+    classify.add_argument("--kernel", choices=("linear", "poly"),
+                          default="linear")
+    classify.add_argument("--save", help="write the trained model (rcbt/cba) "
+                                          "and its pipeline file here")
+    classify.set_defaults(handler=_cmd_classify)
+
+    predict = commands.add_parser(
+        "predict", help="apply a saved rule classifier to new samples"
+    )
+    predict.add_argument("--model", required=True,
+                         help="model JSON from classify --save")
+    predict.add_argument("--pipeline", required=True,
+                         help="pipeline JSON written next to the model")
+    predict.add_argument("--data", required=True, help="samples TSV")
+    predict.set_defaults(handler=_cmd_predict)
+
+    experiments = commands.add_parser(
+        "experiments", help="run a table/figure driver"
+    )
+    experiments.add_argument(
+        "experiment",
+        choices=("table1", "table2", "fig6", "fig7", "fig8",
+                 "ablations", "report"),
+    )
+    experiments.add_argument("rest", nargs=argparse.REMAINDER)
+    experiments.set_defaults(handler=_cmd_experiments)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,190 @@
+"""Hybrid column-then-row enumeration (the Section 8 extension).
+
+The paper's row enumeration assumes few rows and many columns.  Its
+discussion section sketches the extension to *tall* datasets: "utilizing
+column-wise mining first, then switching to row-wise enumeration in later
+levels to mine top-k covering rules in the partition formed by
+column-wise mining, and finally aggregating the top-k covering rules in
+all partitions."
+
+This module implements that sketch:
+
+1. **Column phase** — one partition per frequent item ``i``: the rows
+   containing ``i``, with the item universe restricted to ``j >= i``.
+   Because every antecedent mined inside the partition contains ``i``,
+   its support set lies entirely inside the partition, so supports and
+   confidences measured locally are exact global values.
+2. **Row phase** — ordinary MineTopkRGS row enumeration inside each
+   partition.
+3. **Aggregation** — each discovered group is attributed to the partition
+   of its closure's *smallest* item (so every group is produced exactly
+   once), re-closed over the full item universe, and offered into global
+   per-row top-k lists.
+
+The output is identical to :func:`repro.core.topk_miner.mine_topk` (the
+cross-validation tests assert this); the benefit is that each row
+enumeration runs over a partition instead of the whole table, which is
+the paper's proposed route to datasets with many rows and to disk-based
+operation (partitions are independent and can be processed one at a
+time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from .bitset import iter_indices, popcount
+from .rules import RuleGroup, TopKList
+from .topk_miner import TopkResult, mine_topk
+
+if TYPE_CHECKING:  # pragma: no cover - import is for annotations only
+    from ..data.dataset import DiscretizedDataset
+
+__all__ = ["HybridStats", "mine_topk_hybrid"]
+
+
+@dataclass
+class HybridStats:
+    """Aggregate statistics of a hybrid run."""
+
+    n_partitions: int = 0
+    n_skipped_partitions: int = 0
+    total_nodes: int = 0
+    max_partition_rows: int = 0
+    completed: bool = True
+
+
+def _partition_dataset(
+    dataset: "DiscretizedDataset", anchor: int, row_ids: list[int]
+) -> "DiscretizedDataset":
+    """Rows containing ``anchor``, items restricted to ids >= anchor."""
+    from ..data.dataset import DiscretizedDataset
+
+    rows = [
+        frozenset(item for item in dataset.rows[row] if item >= anchor)
+        for row in row_ids
+    ]
+    return DiscretizedDataset(
+        rows,
+        [dataset.labels[row] for row in row_ids],
+        dataset.items,
+        class_names=list(dataset.class_names),
+        name=f"{dataset.name}|{anchor}",
+    )
+
+
+def mine_topk_hybrid(
+    dataset: "DiscretizedDataset",
+    consequent: int,
+    minsup: int,
+    k: int = 1,
+    engine: str = "bitset",
+    node_budget_per_partition: Optional[int] = None,
+    spill_dir: Optional[str] = None,
+) -> TopkResult:
+    """Top-k covering rule groups via column-partitioned row enumeration.
+
+    Args:
+        dataset: discretized dataset (works for any row count; intended
+            for tall datasets where direct row enumeration struggles).
+        consequent: class id of the rule consequent.
+        minsup: absolute minimum support.
+        k: rule groups to keep per row.
+        engine: row-enumeration engine used inside each partition.
+        node_budget_per_partition: optional per-partition node cap; a
+            capped partition marks the overall result incomplete.
+        spill_dir: when set, each partition is written to this directory
+            and read back before mining — the paper's second Section 8
+            route ("database projection (disk-based) techniques"): only
+            one projected partition is resident while it is mined, so
+            peak memory is bounded by the largest partition rather than
+            the whole table.
+
+    Returns:
+        A :class:`TopkResult` equal to the direct miner's output; its
+        ``stats`` carries the summed node counts.
+    """
+    class_mask = dataset.class_mask(consequent)
+    item_rows = dataset.item_row_sets()
+
+    # Frequent items by consequent-class support, as in Figure 3 step 1.
+    frequent = [
+        item
+        for item in range(dataset.n_items)
+        if popcount(item_rows[item] & class_mask) >= minsup
+    ]
+
+    lists: dict[int, TopKList] = {
+        row: TopKList(k)
+        for row, label in enumerate(dataset.labels)
+        if label == consequent
+    }
+    stats = HybridStats()
+    closure_cache: dict[int, frozenset[int]] = {}
+
+    for anchor in frequent:
+        row_ids = list(iter_indices(item_rows[anchor]))
+        stats.n_partitions += 1
+        stats.max_partition_rows = max(stats.max_partition_rows, len(row_ids))
+        partition = _partition_dataset(dataset, anchor, row_ids)
+        if spill_dir is not None:
+            from pathlib import Path
+
+            from ..data.loaders import load_discretized, save_discretized
+
+            path = Path(spill_dir) / f"partition_{anchor}.json"
+            save_discretized(partition, path)
+            partition = load_discretized(path)
+        result = mine_topk(
+            partition,
+            consequent,
+            minsup,
+            k=k,
+            engine=engine,
+            node_budget=node_budget_per_partition,
+        )
+        stats.total_nodes += result.stats.nodes_visited
+        if not result.stats.completed:
+            stats.completed = False
+        for group in result.unique_groups():
+            # Translate the partition-local row bitset to global rows.
+            global_bits = 0
+            for local_row in iter_indices(group.row_set):
+                global_bits |= 1 << row_ids[local_row]
+            closure = closure_cache.get(global_bits)
+            if closure is None:
+                closure = dataset.common_items(global_bits)
+                closure_cache[global_bits] = closure
+            if min(closure) != anchor:
+                # This group's canonical partition is its smallest item;
+                # it will be (or was) produced there.
+                continue
+            full_group = RuleGroup(
+                antecedent=closure,
+                consequent=consequent,
+                row_set=global_bits,
+                support=group.support,
+                confidence=group.confidence,
+            )
+            for row in iter_indices(global_bits & class_mask):
+                lists[row].offer(full_group)
+
+    per_row = {row: list(topk) for row, topk in lists.items()}
+    from .enumeration import MinerStats
+
+    miner_stats = MinerStats(
+        nodes_visited=stats.total_nodes,
+        groups_emitted=sum(len(groups) for groups in per_row.values()),
+        engine=f"hybrid/{engine}",
+        completed=stats.completed,
+    )
+    result = TopkResult(
+        per_row=per_row,
+        consequent=consequent,
+        minsup=minsup,
+        k=k,
+        stats=miner_stats,
+    )
+    result.hybrid_stats = stats  # type: ignore[attr-defined]
+    return result

@@ -1,0 +1,95 @@
+"""Rule-group membership: enumerate and count the rules in a group.
+
+Definition 2.1 makes a rule group the set of all antecedents with one
+support set; by Lemma 5.1 those are exactly the itemsets sandwiched
+between some lower bound and the upper bound:
+
+    members(G) = { A : L ⊆ A ⊆ U for some lower bound L of G }.
+
+The paper leans on this to justify reporting only bounds ("based on the
+upper bound and all the lower bounds of a rule group, it is easy to
+identify the remaining members"); this module makes that identification
+executable — counting via inclusion-exclusion and enumerating smallest
+first — and provides the direct membership test.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional, Sequence
+
+from .rules import RuleGroup
+
+if TYPE_CHECKING:  # pragma: no cover - import is for annotations only
+    from ..data.dataset import DiscretizedDataset
+
+__all__ = ["count_members", "iter_members", "is_member"]
+
+
+def count_members(
+    upper: frozenset[int], lowers: Sequence[frozenset[int]]
+) -> int:
+    """Number of rules in the group, by inclusion-exclusion.
+
+    ``|{A : ∃L, L ⊆ A ⊆ U}| = Σ_{∅≠S⊆lowers} (-1)^{|S|+1} 2^{|U| - |∪S|}``.
+
+    Args:
+        upper: the upper bound antecedent.
+        lowers: all lower bounds (each must be a subset of ``upper``).
+
+    The count is exact only when ``lowers`` is the complete set of lower
+    bounds; with a partial set it is a lower estimate of the group size.
+    """
+    for lower in lowers:
+        if not lower <= upper:
+            raise ValueError(f"lower bound {sorted(lower)} not within upper")
+    total = 0
+    for size in range(1, len(lowers) + 1):
+        for subset in combinations(lowers, size):
+            union = frozenset().union(*subset)
+            term = 1 << (len(upper) - len(union))
+            total += term if size % 2 == 1 else -term
+    return total
+
+
+def iter_members(
+    upper: frozenset[int],
+    lowers: Sequence[frozenset[int]],
+    limit: Optional[int] = None,
+) -> Iterator[frozenset[int]]:
+    """Yield the group's member antecedents, smallest first.
+
+    Args:
+        upper: the upper bound antecedent.
+        lowers: lower bounds anchoring membership.
+        limit: stop after this many members (groups can be exponentially
+            large; the paper reports tens of thousands of lower bounds
+            alone on entropy-discretized data).
+    """
+    for lower in lowers:
+        if not lower <= upper:
+            raise ValueError(f"lower bound {sorted(lower)} not within upper")
+    produced = 0
+    seen: set[frozenset[int]] = set()
+    ordered_upper = sorted(upper)
+    for size in range(min((len(l) for l in lowers), default=0), len(upper) + 1):
+        for candidate in combinations(ordered_upper, size):
+            candidate_set = frozenset(candidate)
+            if candidate_set in seen:
+                continue
+            if any(lower <= candidate_set for lower in lowers):
+                seen.add(candidate_set)
+                yield candidate_set
+                produced += 1
+                if limit is not None and produced >= limit:
+                    return
+
+
+def is_member(
+    dataset: "DiscretizedDataset", group: RuleGroup, antecedent: Iterable[int]
+) -> bool:
+    """Direct membership test: ``A ⊆ U`` and ``R(A) == R(U)``."""
+    antecedent = frozenset(antecedent)
+    if not antecedent or not antecedent <= group.antecedent:
+        return False
+    return dataset.support_set(antecedent) == group.row_set

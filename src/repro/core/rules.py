@@ -1,0 +1,213 @@
+"""Rules, rule groups, and the significance orders of the paper.
+
+A *rule* is ``A -> C`` where ``A`` is a set of items and ``C`` a class
+label.  A *rule group* (Definition 2.1) is the equivalence class of all
+rules with the same antecedent support set; it is represented here by its
+unique upper bound: the closed antecedent ``I(R(A))`` together with the row
+support set.  Support and confidence follow Section 2: support is
+``|R(A ∪ C)|`` (rows of class ``C`` containing ``A``) and confidence is
+``|R(A ∪ C)| / |R(A)|``.
+
+Two orders matter:
+
+* the *significance* order of Definition 2.2 (confidence first, then
+  support), used to rank candidate members of the per-row top-k lists, and
+* the CBA total order ``≺`` of Section 2.2 Step 2 (confidence, support,
+  then shorter antecedent / earlier discovery), used when building
+  classifiers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .bitset import popcount, to_indices
+
+__all__ = [
+    "Rule",
+    "RuleGroup",
+    "significance_key",
+    "more_significant",
+    "cba_sort_key",
+    "TopKList",
+]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A single association rule ``antecedent -> consequent``.
+
+    Attributes:
+        antecedent: frozen set of item ids.
+        consequent: class label id.
+        support: absolute support, ``|R(A ∪ C)|``.
+        confidence: ``support / |R(A)|``.
+    """
+
+    antecedent: frozenset[int]
+    consequent: int
+    support: int
+    confidence: float
+
+    def __len__(self) -> int:
+        return len(self.antecedent)
+
+    def matches(self, row_items: frozenset[int]) -> bool:
+        """Return True iff the rule's antecedent is contained in the row."""
+        return self.antecedent <= row_items
+
+    def describe(self, item_namer=None) -> str:
+        """Human-readable rendering, optionally naming items via a callable."""
+        namer = item_namer if item_namer is not None else str
+        items = ", ".join(namer(i) for i in sorted(self.antecedent))
+        return (
+            f"{{{items}}} -> class {self.consequent} "
+            f"(sup={self.support}, conf={self.confidence:.3f})"
+        )
+
+
+@dataclass(frozen=True)
+class RuleGroup:
+    """A rule group, represented by its unique upper bound.
+
+    Attributes:
+        antecedent: the closed antecedent ``I(R(A))`` as a frozenset of
+            item ids (the upper bound rule's antecedent).
+        consequent: class label id.
+        row_set: bitset of all rows containing the antecedent (``R(A)``).
+        support: ``|R(A ∪ C)|`` — rows of the consequent class in
+            ``row_set``.
+        confidence: ``support / |row_set|``.
+    """
+
+    antecedent: frozenset[int]
+    consequent: int
+    row_set: int
+    support: int
+    confidence: float
+
+    @classmethod
+    def from_row_set(
+        cls,
+        antecedent: Iterable[int],
+        consequent: int,
+        row_set: int,
+        class_mask: int,
+    ) -> "RuleGroup":
+        """Build a group from its support set and the consequent class mask.
+
+        ``class_mask`` is the bitset of all rows labelled with the
+        consequent class; support and confidence are derived from it.
+        """
+        total = popcount(row_set)
+        sup = popcount(row_set & class_mask)
+        conf = sup / total if total else 0.0
+        return cls(frozenset(antecedent), consequent, row_set, sup, conf)
+
+    @property
+    def total_support(self) -> int:
+        """``|R(A)|`` — rows of any class containing the antecedent."""
+        return popcount(self.row_set)
+
+    def covered_rows(self, class_mask: int) -> list[int]:
+        """Row ids of the consequent class covered by this group."""
+        return to_indices(self.row_set & class_mask)
+
+    def upper_bound_rule(self) -> Rule:
+        """The upper bound rule of this group."""
+        return Rule(self.antecedent, self.consequent, self.support, self.confidence)
+
+    def describe(self, item_namer=None) -> str:
+        namer = item_namer if item_namer is not None else str
+        items = ", ".join(namer(i) for i in sorted(self.antecedent))
+        return (
+            f"RG{{{items}}} -> class {self.consequent} "
+            f"(sup={self.support}, conf={self.confidence:.3f}, "
+            f"|R(A)|={self.total_support})"
+        )
+
+
+def significance_key(group: RuleGroup) -> tuple[float, int]:
+    """Sort key implementing Definition 2.2 (larger key = more significant)."""
+    return (group.confidence, group.support)
+
+
+def more_significant(first: RuleGroup, second: RuleGroup) -> bool:
+    """Return True iff ``first`` is strictly more significant (Def. 2.2)."""
+    if first.confidence != second.confidence:
+        return first.confidence > second.confidence
+    return first.support > second.support
+
+
+def cba_sort_key(rule: Rule, discovery_index: int) -> tuple[float, int, int, int]:
+    """Key for the CBA precedence ``≺`` (sort ascending = best first).
+
+    Higher confidence first, then higher support, then shorter antecedent
+    (CBA's breadth-first discovery picks the shortest), then earlier
+    discovery.
+    """
+    return (-rule.confidence, -rule.support, len(rule.antecedent), discovery_index)
+
+
+@dataclass
+class TopKList:
+    """The top-k covering rule group list of a single row.
+
+    Maintains up to ``k`` rule groups ordered from most to least
+    significant.  Entries are keyed by their row support set so that the
+    same rule group (possibly discovered provisionally via the single-item
+    initialization optimization of Section 4.1.1) is never duplicated and
+    can be upgraded in place once its closed upper bound is found.
+    """
+
+    k: int
+    groups: list[RuleGroup] = field(default_factory=list)
+
+    def kth_threshold(self) -> tuple[float, int]:
+        """Confidence and support of the k-th entry (0, 0 if underfull).
+
+        This is the per-row contribution to the dynamic ``minconf`` and
+        ``sup`` thresholds of Equations 1 and 2.
+        """
+        if len(self.groups) < self.k:
+            return (0.0, 0)
+        last = self.groups[-1]
+        return (last.confidence, last.support)
+
+    def would_accept(self, confidence: float, support: int) -> bool:
+        """Return True iff a group with these stats would enter the list."""
+        min_conf, min_sup = self.kth_threshold()
+        if confidence != min_conf:
+            return confidence > min_conf
+        return support > min_sup
+
+    def offer(self, group: RuleGroup) -> bool:
+        """Offer a group to the list; return True if the list changed.
+
+        A group already present (same row support set) upgrades the stored
+        antecedent — this realises the paper's "update the single item with
+        the upper bound rule" adaptation of Step 13.
+        """
+        for index, existing in enumerate(self.groups):
+            if existing.row_set == group.row_set and existing.consequent == group.consequent:
+                if len(group.antecedent) > len(existing.antecedent):
+                    self.groups[index] = group
+                    return True
+                return False
+        if not self.would_accept(group.confidence, group.support):
+            return False
+        self.groups.append(group)
+        self.groups.sort(key=significance_key, reverse=True)
+        if len(self.groups) > self.k:
+            self.groups.pop()
+        return True
+
+    def __iter__(self):
+        return iter(self.groups)
+
+    def __len__(self) -> int:
+        return len(self.groups)
+
+    def __getitem__(self, index: int) -> RuleGroup:
+        return self.groups[index]

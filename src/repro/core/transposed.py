@@ -1,0 +1,107 @@
+"""Explicit (projected) transposed tables — Figure 1(b)-(d).
+
+The enumeration engines keep their own compact representations
+(bitsets, tuple lists, prefix trees); this module provides the concept
+itself as a first-class object, matching the paper's notation: ``TT``
+has one *tuple* per item listing the rows containing it, and the
+X-projected table ``TT|_X`` keeps, for each tuple containing all of
+``X``, the rows ordered after every row of ``X``.
+
+Useful for inspection, teaching, and as an executable specification the
+engine tests can compare against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - import is for annotations only
+    from ..data.dataset import DiscretizedDataset
+
+__all__ = ["TransposedTable"]
+
+
+@dataclass(frozen=True)
+class TransposedTable:
+    """A (possibly projected) transposed table.
+
+    Attributes:
+        tuples: mapping item id -> ascending tuple of row ids.  In a
+            projection, items whose remaining row list is empty are kept
+            (they are still in ``I(X)``) with an empty tuple.
+        projected_on: the row set ``X`` this table is projected on
+            (empty for the root table ``TT``).
+    """
+
+    tuples: dict[int, tuple[int, ...]]
+    projected_on: frozenset[int]
+
+    @classmethod
+    def from_dataset(cls, dataset: "DiscretizedDataset") -> "TransposedTable":
+        """Build ``TT`` (Figure 1b) from a discretized dataset."""
+        tuples: dict[int, list[int]] = {i: [] for i in range(dataset.n_items)}
+        for row_id, row in enumerate(dataset.rows):
+            for item in row:
+                tuples[item].append(row_id)
+        return cls(
+            tuples={
+                item: tuple(rows) for item, rows in tuples.items() if rows
+            },
+            projected_on=frozenset(),
+        )
+
+    def project(self, rows: Iterable[int]) -> "TransposedTable":
+        """``TT|_X`` for ``X = projected_on ∪ rows`` (Section 3).
+
+        Keeps tuples containing every row of ``X``, truncated to rows
+        strictly greater than ``max(X)``.
+        """
+        target = self.projected_on | frozenset(rows)
+        if not target:
+            return self
+        cutoff = max(target)
+        projected: dict[int, tuple[int, ...]] = {}
+        for item, row_tuple in self.tuples.items():
+            row_set = set(row_tuple) | self.projected_on
+            if target <= row_set:
+                projected[item] = tuple(r for r in row_tuple if r > cutoff)
+        return TransposedTable(tuples=projected, projected_on=target)
+
+    def items(self) -> list[int]:
+        """``I(X)`` — the items represented in this table."""
+        return sorted(self.tuples)
+
+    def row_frequencies(self) -> dict[int, int]:
+        """Row id -> number of tuples containing it (Figure 3 step 10)."""
+        frequencies: dict[int, int] = {}
+        for row_tuple in self.tuples.values():
+            for row in row_tuple:
+                frequencies[row] = frequencies.get(row, 0) + 1
+        return frequencies
+
+    def closure_extension(self) -> list[int]:
+        """Rows present in every tuple — they join ``X`` (step 10).
+
+        Empty when any tuple has run out of rows (such an item cannot
+        contain further rows, so no row can be common to all tuples).
+        """
+        n_tuples = len(self.tuples)
+        if n_tuples == 0 or any(not t for t in self.tuples.values()):
+            return []
+        return sorted(
+            row
+            for row, count in self.row_frequencies().items()
+            if count == n_tuples
+        )
+
+    def render(self, item_namer=None, row_offset: int = 0) -> str:
+        """Figure 1(b)-style text rendering."""
+        namer = item_namer if item_namer is not None else str
+        lines = []
+        for item in self.items():
+            rows = ", ".join(
+                str(row + row_offset) for row in self.tuples[item]
+            )
+            lines.append(f"{namer(item)}: {{{rows}}}")
+        return "\n".join(lines)

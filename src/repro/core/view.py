@@ -1,0 +1,159 @@
+"""The mining view: a dataset prepared for row enumeration.
+
+``MineTopkRGS`` (Figure 3, steps 1-3) starts by removing infrequent items,
+splitting rows into the consequent class ``D_p`` and the rest ``D_n``, and
+imposing the *class dominant order* (Definition 3.1): all class-``C`` rows
+before all others, each class sorted by ascending number of frequent items
+(Section 4.1.2's ordering refinement).  :class:`MiningView` performs that
+preparation once and exposes the result in *position space* — rows are
+renumbered 0..n-1 in enumeration order so that row bitsets, class masks and
+"rows after r" checks are all cheap integer operations.
+
+Every enumeration engine (bitset, projected-table, prefix-tree) and every
+policy (top-k, FARMER) works against this one view.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from .bitset import mask_below, popcount
+
+if TYPE_CHECKING:  # pragma: no cover - import is for annotations only
+    from ..data.dataset import DiscretizedDataset
+
+__all__ = ["MiningView"]
+
+
+class MiningView:
+    """Row-enumeration view of a dataset for one consequent class.
+
+    Attributes:
+        dataset: the underlying discretized dataset.
+        consequent: class id the mined rule groups conclude.
+        minsup: absolute minimum support (rows of the consequent class).
+        n_rows: number of rows (same as the dataset).
+        n_positive: number of consequent-class rows; they occupy positions
+            ``0..n_positive-1`` in the class dominant order.
+        order: position -> original row index.
+        position_of: original row index -> position.
+        frequent_items: item ids whose consequent-class support reaches
+            ``minsup``, in ascending id order.
+        item_rows: item id -> bitset of positions containing the item
+            (restricted to frequent items; infrequent items map to 0).
+        row_items: position -> frozenset of frequent item ids.
+        positive_mask: bitset of consequent-class positions.
+    """
+
+    def __init__(
+        self, dataset: "DiscretizedDataset", consequent: int, minsup: int
+    ) -> None:
+        if minsup < 1:
+            raise ValueError(f"minsup must be >= 1, got {minsup}")
+        if not 0 <= consequent < max(dataset.n_classes, 1):
+            raise ValueError(
+                f"consequent {consequent} out of range for "
+                f"{dataset.n_classes} classes"
+            )
+        self.dataset = dataset
+        self.consequent = consequent
+        self.minsup = minsup
+
+        # Step 1: frequent items.  A rule group's support counts only
+        # consequent-class rows, so items appearing in fewer than minsup
+        # such rows cannot occur in any antecedent with enough support.
+        class_rows = [
+            row for row, label in zip(dataset.rows, dataset.labels)
+            if label == consequent
+        ]
+        counts: dict[int, int] = {}
+        for row in class_rows:
+            for item in row:
+                counts[item] = counts.get(item, 0) + 1
+        self.frequent_items: list[int] = sorted(
+            item for item, count in counts.items() if count >= minsup
+        )
+        frequent = frozenset(self.frequent_items)
+
+        # Class dominant order with ascending row length within each class.
+        def _length(row_index: int) -> int:
+            return len(dataset.rows[row_index] & frequent)
+
+        positive = sorted(dataset.rows_of_class(consequent), key=_length)
+        negative = sorted(
+            (
+                row
+                for row in range(dataset.n_rows)
+                if dataset.labels[row] != consequent
+            ),
+            key=_length,
+        )
+        self.order: list[int] = positive + negative
+        self.position_of: dict[int, int] = {
+            row: pos for pos, row in enumerate(self.order)
+        }
+        self.n_rows = dataset.n_rows
+        self.n_positive = len(positive)
+        self.positive_mask = mask_below(self.n_positive)
+
+        self.row_items: list[frozenset[int]] = [
+            dataset.rows[row] & frequent for row in self.order
+        ]
+        max_item = (max(frequent) + 1) if frequent else 0
+        self.item_rows: list[int] = [0] * max_item
+        for position, items in enumerate(self.row_items):
+            mark = 1 << position
+            for item in items:
+                self.item_rows[item] |= mark
+
+    def positions_to_rows(self, position_bits: int) -> int:
+        """Translate a position-space bitset to an original-row bitset."""
+        result = 0
+        bits = position_bits
+        while bits:
+            low = bits & -bits
+            position = low.bit_length() - 1
+            bits ^= low
+            result |= 1 << self.order[position]
+        return result
+
+    def closure_rows(self, items: Sequence[int]) -> Optional[int]:
+        """``R(itemset)`` in position space (None for the empty itemset)."""
+        result: Optional[int] = None
+        for item in items:
+            rows = self.item_rows[item]
+            result = rows if result is None else result & rows
+        return result
+
+    def closed_items(self, position_bits: int) -> frozenset[int]:
+        """``I(position set)`` over the frequent items."""
+        common: Optional[frozenset[int]] = None
+        bits = position_bits
+        while bits:
+            low = bits & -bits
+            position = low.bit_length() - 1
+            bits ^= low
+            items = self.row_items[position]
+            common = items if common is None else common & items
+            if not common:
+                return frozenset()
+        return common if common is not None else frozenset()
+
+    def positive_count(self, position_bits: int) -> int:
+        """Number of consequent-class rows in a position bitset."""
+        return popcount(position_bits & self.positive_mask)
+
+    def single_item_groups(self) -> dict[int, list[int]]:
+        """Distinct single-item support sets, for the initialization step.
+
+        Returns a mapping from position-space row bitset to the list of
+        frequent items having exactly that support set.  Items sharing a
+        support set belong to the same rule group — the paper's caveat
+        that two single items initializing one row's list must not be
+        lower bounds of the same upper bound is honoured by keying on the
+        support set.
+        """
+        groups: dict[int, list[int]] = {}
+        for item in self.frequent_items:
+            groups.setdefault(self.item_rows[item], []).append(item)
+        return groups

@@ -1,0 +1,51 @@
+"""Data substrate: datasets, discretization, synthetic generators, loaders."""
+
+from .binning import BinningDiscretizer
+from .dataset import DiscretizedDataset, GeneExpressionDataset, Item
+from .discretize import EntropyDiscretizer, entropy, mdl_cut_points
+from .loaders import (
+    Benchmark,
+    load_benchmark,
+    load_discretized,
+    load_expression,
+    save_discretized,
+    save_expression,
+)
+from .synthetic import (
+    ALL_AML,
+    LUNG_CANCER,
+    OVARIAN_CANCER,
+    PAPER_DATASETS,
+    PROSTATE_CANCER,
+    DatasetSpec,
+    generate_dataset,
+    generate_paper_dataset,
+    make_figure1_example,
+    random_discretized_dataset,
+)
+
+__all__ = [
+    "ALL_AML",
+    "Benchmark",
+    "BinningDiscretizer",
+    "DatasetSpec",
+    "DiscretizedDataset",
+    "EntropyDiscretizer",
+    "GeneExpressionDataset",
+    "Item",
+    "LUNG_CANCER",
+    "OVARIAN_CANCER",
+    "PAPER_DATASETS",
+    "PROSTATE_CANCER",
+    "entropy",
+    "generate_dataset",
+    "generate_paper_dataset",
+    "load_benchmark",
+    "load_discretized",
+    "load_expression",
+    "make_figure1_example",
+    "mdl_cut_points",
+    "random_discretized_dataset",
+    "save_discretized",
+    "save_expression",
+]

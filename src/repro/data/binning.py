@@ -1,0 +1,113 @@
+"""Unsupervised binning discretizers (equal-width / equal-frequency).
+
+The paper's pipeline depends on *entropy-minimized* discretization — it
+both selects features and aligns interval edges with class structure.
+These class-blind binners exist to quantify that dependence: swap one in
+for :class:`~repro.data.discretize.EntropyDiscretizer` and both the
+mining output (far fewer high-confidence groups) and the classifiers
+degrade, which is the ablation `examples/` and the tests exercise.
+
+Both share the fitted-cuts / transform interface of the entropy
+discretizer, so they are drop-in substitutes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .dataset import DiscretizedDataset, GeneExpressionDataset, Item
+
+__all__ = ["BinningDiscretizer"]
+
+
+class BinningDiscretizer:
+    """Class-blind discretization into a fixed number of bins per gene.
+
+    Args:
+        n_bins: intervals per gene (>= 2; every gene is kept — binning
+            performs no feature selection, unlike the entropy method).
+        strategy: ``"frequency"`` places cuts at value quantiles,
+            ``"width"`` spaces them evenly over the value range.
+    """
+
+    def __init__(self, n_bins: int = 2, strategy: str = "frequency") -> None:
+        if n_bins < 2:
+            raise ValueError(f"n_bins must be >= 2, got {n_bins}")
+        if strategy not in ("frequency", "width"):
+            raise ValueError(f"unknown strategy {strategy!r}")
+        self.n_bins = n_bins
+        self.strategy = strategy
+        self.cuts_: dict[int, list[float]] = {}
+        self.items_: list[Item] = []
+        self.selected_genes_: list[int] = []
+        self._gene_items: dict[int, list[Item]] = {}
+        self._fitted = False
+
+    def fit(self, dataset: GeneExpressionDataset) -> "BinningDiscretizer":
+        """Compute cut points for every gene of ``dataset``."""
+        self.cuts_ = {}
+        for gene in range(dataset.n_genes):
+            column = dataset.values[:, gene]
+            if self.strategy == "frequency":
+                quantiles = np.linspace(0, 1, self.n_bins + 1)[1:-1]
+                cuts = np.unique(np.quantile(column, quantiles))
+            else:
+                low, high = column.min(), column.max()
+                if high <= low:
+                    cuts = np.array([])
+                else:
+                    cuts = np.linspace(low, high, self.n_bins + 1)[1:-1]
+            cut_list = [float(c) for c in cuts]
+            if cut_list:
+                self.cuts_[gene] = cut_list
+        self.selected_genes_ = sorted(self.cuts_)
+        self._build_items(dataset)
+        self._fitted = True
+        return self
+
+    def _build_items(self, dataset: GeneExpressionDataset) -> None:
+        self._gene_items = {}
+        next_id = 0
+        for gene in self.selected_genes_:
+            edges = [float("-inf"), *self.cuts_[gene], float("inf")]
+            gene_items = []
+            for low, high in zip(edges[:-1], edges[1:]):
+                gene_items.append(
+                    Item(next_id, gene, dataset.gene_names[gene], low, high)
+                )
+                next_id += 1
+            self._gene_items[gene] = gene_items
+        self.items_ = [
+            item for gene in self.selected_genes_ for item in self._gene_items[gene]
+        ]
+
+    def transform(self, dataset: GeneExpressionDataset) -> DiscretizedDataset:
+        """Itemize ``dataset`` using the fitted cut points."""
+        if not self._fitted:
+            raise RuntimeError("BinningDiscretizer must be fitted before transform")
+        rows: list[list[int]] = [[] for _ in range(dataset.n_samples)]
+        for gene in self.selected_genes_:
+            column = dataset.values[:, gene]
+            gene_items = self._gene_items[gene]
+            edges = np.array(self.cuts_[gene])
+            positions = np.searchsorted(edges, column, side="right")
+            for sample, position in enumerate(positions):
+                rows[sample].append(gene_items[int(position)].item_id)
+        return DiscretizedDataset(
+            rows,
+            dataset.labels,
+            self.items_,
+            class_names=list(dataset.class_names),
+            name=dataset.name,
+        )
+
+    def fit_transform(self, dataset: GeneExpressionDataset) -> DiscretizedDataset:
+        """Fit on ``dataset`` and itemize it."""
+        return self.fit(dataset).transform(dataset)
+
+    @property
+    def n_selected_genes(self) -> int:
+        """Number of genes with at least one cut (all, for binning)."""
+        return len(self.selected_genes_)

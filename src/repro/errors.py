@@ -1,0 +1,26 @@
+"""Package-wide exception types."""
+
+from __future__ import annotations
+
+__all__ = ["ReproError", "MiningBudgetExceeded", "NotFittedError"]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class MiningBudgetExceeded(ReproError):
+    """A miner exceeded its node or wall-clock budget.
+
+    Carries whatever partial statistics were gathered so experiments can
+    report "did not finish within budget" rows the way the paper reports
+    CHARM/CLOSET+/FARMER timeouts.
+    """
+
+    def __init__(self, message: str, stats=None) -> None:
+        super().__init__(message)
+        self.stats = stats
+
+
+class NotFittedError(ReproError):
+    """A model was used before being trained."""

@@ -1,0 +1,37 @@
+"""CLI dispatcher: ``python -m repro.experiments <experiment> [options]``."""
+
+from __future__ import annotations
+
+import sys
+
+from . import ablations, fig6, fig7, fig8, report, table1, table2
+
+_EXPERIMENTS = {
+    "ablations": ablations.main,
+    "report": report.main,
+    "table1": table1.main,
+    "table2": table2.main,
+    "fig6": fig6.main,
+    "fig7": fig7.main,
+    "fig8": fig8.main,
+}
+
+
+def main(argv: list[str]) -> int:
+    if not argv or argv[0] in ("-h", "--help"):
+        names = ", ".join(sorted(_EXPERIMENTS))
+        print(f"usage: python -m repro.experiments <experiment> [options]")
+        print(f"experiments: {names}")
+        return 0 if argv else 2
+    name, *rest = argv
+    runner = _EXPERIMENTS.get(name)
+    if runner is None:
+        names = ", ".join(sorted(_EXPERIMENTS))
+        print(f"unknown experiment {name!r}; expected one of: {names}",
+              file=sys.stderr)
+        return 2
+    return runner(rest)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

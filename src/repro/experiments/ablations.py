@@ -1,0 +1,154 @@
+"""Ablation study: which RCBT ingredients buy its accuracy (Section 6.2).
+
+The paper attributes RCBT's Table 2 lead to two factors — the standby
+classifiers and the committee vote over ``nl`` lower bounds.  This driver
+isolates them:
+
+* ``RCBT`` — full configuration (k standby levels, score voting);
+* ``no standby`` — k = 1 (main classifier only);
+* ``first match`` — voting replaced by CBA-style first-match per level;
+* ``nl = 1`` — one lower bound per group (no committee);
+* ``CBA`` — the baseline all of the above collapse toward.
+
+It also reports the miner-side ablations (top-k pruning, single-item
+initialization, dynamic minsup) as enumeration node counts.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..classifiers import CBAClassifier, RCBTClassifier
+from ..core.topk_miner import mine_topk, relative_minsup
+from .harness import DATASET_NAMES, prepare, render_table
+
+__all__ = ["AblationResult", "run_classifier_ablation", "run_miner_ablation",
+           "render", "main"]
+
+CLASSIFIER_VARIANTS = ("RCBT", "no standby", "first match", "nl=1", "CBA")
+
+
+@dataclass
+class AblationResult:
+    """Accuracy per dataset per classifier variant, plus miner counters."""
+
+    accuracy: dict[str, dict[str, float]] = field(default_factory=dict)
+    miner_nodes: dict[str, dict[str, int]] = field(default_factory=dict)
+    k: int = 10
+    nl: int = 20
+
+
+def run_classifier_ablation(
+    scale: float = 1.0,
+    datasets: Sequence[str] = ("ALL", "PC"),
+    k: int = 10,
+    nl: int = 20,
+    minsup_fraction: float = 0.7,
+) -> AblationResult:
+    """Fit every RCBT variant (and CBA) on each dataset."""
+    result = AblationResult(k=k, nl=nl)
+    for name in datasets:
+        benchmark = prepare(name, scale)
+        train, test = benchmark.train_items, benchmark.test_items
+        variants = {
+            "RCBT": RCBTClassifier(k=k, nl=nl,
+                                   minsup_fraction=minsup_fraction),
+            "no standby": RCBTClassifier(k=1, nl=nl,
+                                         minsup_fraction=minsup_fraction),
+            "first match": RCBTClassifier(k=k, nl=nl, use_voting=False,
+                                          minsup_fraction=minsup_fraction),
+            "nl=1": RCBTClassifier(k=k, nl=1,
+                                   minsup_fraction=minsup_fraction),
+            "CBA": CBAClassifier(minsup_fraction=minsup_fraction),
+        }
+        result.accuracy[name] = {
+            label: model.fit(train).score(test)
+            for label, model in variants.items()
+        }
+    return result
+
+
+def run_miner_ablation(
+    scale: float = 1.0,
+    datasets: Sequence[str] = ("ALL",),
+    minsup_fraction: float = 0.8,
+) -> AblationResult:
+    """Enumeration node counts with each optimization toggled off."""
+    result = AblationResult()
+    for name in datasets:
+        benchmark = prepare(name, scale)
+        train = benchmark.train_items
+        minsup = relative_minsup(train, 1, minsup_fraction)
+        configurations = {
+            "all optimizations": dict(),
+            "no top-k pruning": dict(
+                use_topk_pruning=False,
+                initialize_single_items=False,
+                dynamic_minsup=False,
+            ),
+            "no single-item init": dict(initialize_single_items=False),
+            "no dynamic minsup": dict(dynamic_minsup=False),
+            "pruning only": dict(
+                initialize_single_items=False, dynamic_minsup=False
+            ),
+        }
+        result.miner_nodes[name] = {
+            label: mine_topk(train, 1, minsup, k=1, **options)
+            .stats.nodes_visited
+            for label, options in configurations.items()
+        }
+    return result
+
+
+def render(result: AblationResult) -> str:
+    sections = []
+    if result.accuracy:
+        datasets = list(result.accuracy)
+        headers = ["Variant", *datasets]
+        body = [
+            [variant,
+             *(f"{result.accuracy[d].get(variant, 0):.2%}" for d in datasets)]
+            for variant in CLASSIFIER_VARIANTS
+            if any(variant in result.accuracy[d] for d in datasets)
+        ]
+        sections.append(render_table(
+            headers, body,
+            title=f"RCBT ablation (k={result.k}, nl={result.nl})",
+        ))
+    for name, counters in result.miner_nodes.items():
+        headers = ["Configuration", "Enumeration nodes"]
+        body = [[label, nodes] for label, nodes in counters.items()]
+        sections.append(render_table(
+            headers, body, title=f"MineTopkRGS ablation — {name}"
+        ))
+    return "\n\n".join(sections)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--datasets", nargs="+", default=["ALL", "PC"],
+                        choices=DATASET_NAMES)
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--nl", type=int, default=20)
+    parser.add_argument("--which", choices=["classifier", "miner", "both"],
+                        default="both")
+    args = parser.parse_args(argv)
+    result = AblationResult(k=args.k, nl=args.nl)
+    if args.which in ("classifier", "both"):
+        partial = run_classifier_ablation(
+            scale=args.scale, datasets=args.datasets, k=args.k, nl=args.nl
+        )
+        result.accuracy = partial.accuracy
+    if args.which in ("miner", "both"):
+        partial = run_miner_ablation(scale=args.scale,
+                                     datasets=args.datasets[:1])
+        result.miner_nodes = partial.miner_nodes
+    print(render(result))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

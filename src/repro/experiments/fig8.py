@@ -1,0 +1,153 @@
+"""Figure 8: gene ranks vs. occurrence in the deployed lower bound rules.
+
+On the prostate-cancer workload, mines the top-1 covering rule groups,
+extracts their shortest lower bounds (as RCBT's main classifier does),
+counts how often each gene occurs in those rules, and sets the counts
+against the chi-square ranking of the genes.
+
+The paper's reading: the most-used genes sit high in the chi-square
+ranking, but a long tail of low-ranked genes is *also* required to form
+the globally significant rules — single-gene rankings are not enough.
+The driver reports the most frequent genes with their ranks, plus the
+rank-distribution summary that captures the figure's shape.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..analysis.gene_ranking import (
+    gene_chi_square_scores,
+    gene_entropy_scores,
+    item_scores,
+    rank_genes,
+)
+from ..analysis.significance import gene_usage
+from ..core.lower_bounds import find_lower_bounds_batch
+from ..core.topk_miner import mine_topk, relative_minsup
+from .harness import DATASET_NAMES, prepare, render_table
+
+__all__ = ["Fig8Result", "run", "render", "main"]
+
+
+@dataclass
+class Fig8Result:
+    """Occurrence counts and chi-square ranks of rule-forming genes."""
+
+    dataset: str
+    n_rule_genes: int
+    n_ranked_genes: int
+    occurrences: dict[int, int] = field(default_factory=dict)  # gene -> count
+    ranks: dict[int, int] = field(default_factory=dict)  # gene -> 1-based rank
+    gene_names: dict[int, str] = field(default_factory=dict)
+
+    def top_genes(self, limit: int = 10) -> list[tuple[int, int, int]]:
+        """(gene index, occurrences, chi-square rank), most used first."""
+        ordered = sorted(
+            self.occurrences.items(), key=lambda pair: (-pair[1], pair[0])
+        )
+        return [
+            (gene, count, self.ranks.get(gene, 0))
+            for gene, count in ordered[:limit]
+        ]
+
+    def rank_quantile_shares(
+        self, quantiles: Sequence[float] = (0.1, 0.25, 0.5)
+    ) -> dict[float, float]:
+        """Share of rule-gene occurrences coming from top-q ranked genes."""
+        total = sum(self.occurrences.values())
+        shares = {}
+        for quantile in quantiles:
+            cutoff = max(1, int(self.n_ranked_genes * quantile))
+            in_top = sum(
+                count
+                for gene, count in self.occurrences.items()
+                if self.ranks.get(gene, self.n_ranked_genes) <= cutoff
+            )
+            shares[quantile] = in_top / total if total else 0.0
+        return shares
+
+
+def run(
+    scale: float = 1.0,
+    dataset: str = "PC",
+    nl: int = 500,
+    minsup_fraction: float = 0.7,
+) -> Fig8Result:
+    """Count gene occurrences in the shortest lower bounds of top-1 RGs."""
+    benchmark = prepare(dataset, scale)
+    train = benchmark.train_items
+    scores = item_scores(train, gene_entropy_scores(train))
+    rules = []
+    for class_id in range(train.n_classes):
+        minsup = relative_minsup(train, class_id, minsup_fraction)
+        mined = mine_topk(train, class_id, minsup, k=1)
+        groups = mined.unique_groups()
+        lower_bounds = find_lower_bounds_batch(
+            train, groups, nl=nl, item_scores=scores
+        )
+        for bounds in lower_bounds.values():
+            rules.extend(bounds)
+
+    occurrences = gene_usage(train, rules)
+    chi_ranks = rank_genes(gene_chi_square_scores(train))
+    gene_names = {
+        gene: benchmark.train.gene_names[gene] for gene in occurrences
+    }
+    return Fig8Result(
+        dataset=dataset,
+        n_rule_genes=len(occurrences),
+        n_ranked_genes=len(chi_ranks),
+        occurrences=occurrences,
+        ranks=chi_ranks,
+        gene_names=gene_names,
+    )
+
+
+def render(result: Fig8Result, top: int = 10) -> str:
+    headers = ["Gene", "Occurrences", "Chi-square rank"]
+    body = [
+        [result.gene_names.get(gene, str(gene)), count, rank]
+        for gene, count, rank in result.top_genes(top)
+    ]
+    table = render_table(
+        headers,
+        body,
+        title=(
+            f"Figure 8 — {result.dataset}: {result.n_rule_genes} genes form "
+            "the top-1 rule groups' lower bounds"
+        ),
+    )
+    shares = result.rank_quantile_shares()
+    lines = [table, ""]
+    for quantile, share in shares.items():
+        lines.append(
+            f"top {quantile:.0%} of chi-square-ranked genes account for "
+            f"{share:.1%} of rule occurrences"
+        )
+    lines.append(
+        "(high-ranked genes dominate, with a long tail of low-ranked genes "
+        "— the paper's Figure 8 shape)"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--dataset", default="PC", choices=DATASET_NAMES)
+    parser.add_argument("--nl", type=int, default=500,
+                        help="lower bounds per rule group; the paper's "
+                             "occurrence counts imply (near-)exhaustive "
+                             "lower bound enumeration")
+    parser.add_argument("--top", type=int, default=10)
+    args = parser.parse_args(argv)
+    print(render(run(scale=args.scale, dataset=args.dataset, nl=args.nl),
+                 top=args.top))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

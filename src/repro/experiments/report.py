@@ -1,0 +1,119 @@
+"""One-command reproduction: run every experiment and write a report.
+
+``python -m repro.experiments report --scale 0.1 --output REPORT.md``
+runs Table 1, Table 2, the Figure 6 sweep (with a wall-clock budget),
+Figure 7, Figure 8 and the ablations at a single scale and writes one
+consolidated markdown report.  This is the "reviewer mode" entry point:
+the full-scale equivalents are the per-experiment drivers documented in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+from . import ablations, fig6, fig7, fig8, table1, table2
+from .harness import DATASET_NAMES
+
+__all__ = ["run", "main"]
+
+
+def run(
+    scale: float = 0.1,
+    datasets: Sequence[str] = DATASET_NAMES,
+    time_budget: float = 10.0,
+    k: int = 10,
+    nl: int = 20,
+) -> str:
+    """Run every experiment at ``scale`` and return the report text."""
+    sections: list[str] = [
+        "# Reproduction report",
+        "",
+        f"Scale factor {scale:g} (gene dimension; sample counts are the "
+        f"paper's), mining budget {time_budget:g}s per exhaustive run.",
+        "",
+    ]
+
+    def add(title: str, body: str, seconds: float) -> None:
+        sections.append(f"## {title}")
+        sections.append("")
+        sections.append("```")
+        sections.append(body)
+        sections.append("```")
+        sections.append(f"_(generated in {seconds:.1f}s)_")
+        sections.append("")
+
+    start = time.perf_counter()
+    body = table1.render(table1.run(scale=scale, datasets=datasets),
+                         show_paper=True)
+    add("Table 1 — dataset characteristics", body,
+        time.perf_counter() - start)
+
+    start = time.perf_counter()
+    result = table2.run(scale=scale, datasets=datasets, k=k, nl=nl)
+    add("Table 2 — classification accuracy",
+        table2.render(result, details=True), time.perf_counter() - start)
+
+    start = time.perf_counter()
+    swept = fig6.run(
+        scale=scale, datasets=datasets, fractions=(0.95, 0.9, 0.85),
+        time_budget=time_budget, column_baselines=True,
+    )
+    swept.k_panel = fig6.run_panel_e(
+        scale=scale, datasets=datasets[:1], time_budget=time_budget
+    ).k_panel
+    add("Figure 6 — mining runtime", fig6.render(swept),
+        time.perf_counter() - start)
+
+    start = time.perf_counter()
+    body = fig7.render(fig7.run(scale=scale, datasets=datasets[:2], k=k))
+    add("Figure 7 — RCBT accuracy vs nl", body, time.perf_counter() - start)
+
+    start = time.perf_counter()
+    body = fig8.render(fig8.run(scale=scale, dataset="PC", nl=100))
+    add("Figure 8 — gene ranks vs rule usage", body,
+        time.perf_counter() - start)
+
+    start = time.perf_counter()
+    ablation = ablations.run_classifier_ablation(
+        scale=scale, datasets=datasets[:2], k=k, nl=nl
+    )
+    ablation.miner_nodes = ablations.run_miner_ablation(
+        scale=scale, datasets=datasets[:1]
+    ).miner_nodes
+    add("Ablations", ablations.render(ablation), time.perf_counter() - start)
+
+    return "\n".join(sections)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.1)
+    parser.add_argument("--datasets", nargs="+", default=list(DATASET_NAMES),
+                        choices=DATASET_NAMES)
+    parser.add_argument("--time-budget", type=float, default=10.0)
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--nl", type=int, default=20)
+    parser.add_argument("--output", default=None,
+                        help="write the report here instead of stdout")
+    args = parser.parse_args(argv)
+    report = run(
+        scale=args.scale,
+        datasets=args.datasets,
+        time_budget=args.time_budget,
+        k=args.k,
+        nl=args.nl,
+    )
+    if args.output:
+        Path(args.output).write_text(report, encoding="utf-8")
+        print(f"wrote {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

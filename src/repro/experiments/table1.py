@@ -1,0 +1,102 @@
+"""Table 1: characteristics of the (synthetic) gene expression datasets.
+
+Regenerates the paper's dataset summary — original gene count, genes
+surviving entropy discretization, class labels and train/test splits —
+from this repository's synthetic workloads, with the paper's published
+numbers alongside for comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from .harness import DATASET_NAMES, prepare, render_table
+
+__all__ = ["Table1Row", "run", "render", "main"]
+
+# Published values: (original genes, genes after discretization,
+# class 1, class 0, train (c1:c0), test).
+_PAPER = {
+    "ALL": (7129, 866, "ALL", "AML", "38 (27:11)", 34),
+    "LC": (12533, 2173, "MPM", "ADCA", "32 (16:16)", 149),
+    "OC": (15154, 5769, "tumor", "normal", "210 (133:77)", 43),
+    "PC": (12600, 1554, "tumor", "normal", "102 (52:50)", 34),
+}
+
+
+@dataclass
+class Table1Row:
+    """Measured characteristics of one dataset."""
+
+    name: str
+    n_genes: int
+    n_genes_discretized: int
+    class1: str
+    class0: str
+    n_train: int
+    train_split: tuple[int, int]
+    n_test: int
+
+    def train_text(self) -> str:
+        return f"{self.n_train} ({self.train_split[1]}:{self.train_split[0]})"
+
+
+def run(
+    scale: float = 1.0, datasets: Sequence[str] = DATASET_NAMES
+) -> list[Table1Row]:
+    """Generate, discretize and summarize each dataset."""
+    rows = []
+    for name in datasets:
+        benchmark = prepare(name, scale)
+        counts = benchmark.train_items.class_counts()
+        rows.append(
+            Table1Row(
+                name=name,
+                n_genes=benchmark.train.n_genes,
+                n_genes_discretized=benchmark.discretizer.n_selected_genes,
+                class1=benchmark.spec.class_names[1],
+                class0=benchmark.spec.class_names[0],
+                n_train=benchmark.train.n_samples,
+                train_split=(counts[0], counts[1]),
+                n_test=benchmark.test.n_samples,
+            )
+        )
+    return rows
+
+
+def render(rows: Sequence[Table1Row], show_paper: bool = True) -> str:
+    """Render measured (and optionally published) characteristics."""
+    headers = ["Dataset", "#Genes", "#Genes disc.", "Class1", "Class0",
+               "#Train", "#Test"]
+    body = [
+        [row.name, row.n_genes, row.n_genes_discretized, row.class1,
+         row.class0, row.train_text(), row.n_test]
+        for row in rows
+    ]
+    out = render_table(headers, body, title="Table 1 (measured)")
+    if show_paper:
+        paper_body = [
+            [name, *(_PAPER[name][i] for i in (0, 1, 2, 3, 4, 5))]
+            for name in (row.name for row in rows)
+            if name in _PAPER
+        ]
+        out += "\n\n" + render_table(headers, paper_body, title="Table 1 (paper)")
+    return out
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="gene-count scale factor (1.0 = Table 1 shapes)")
+    parser.add_argument("--datasets", nargs="+", default=list(DATASET_NAMES),
+                        choices=DATASET_NAMES)
+    args = parser.parse_args(argv)
+    print(render(run(scale=args.scale, datasets=args.datasets),
+                 show_paper=args.scale == 1.0))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

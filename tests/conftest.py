@@ -1,0 +1,37 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import make_figure1_example, random_discretized_dataset
+from repro.data.loaders import load_benchmark
+
+
+@pytest.fixture
+def figure1():
+    """The paper's running example (Figure 1a)."""
+    return make_figure1_example()
+
+
+@pytest.fixture
+def small_random():
+    """A fixed small random itemized dataset."""
+    return random_discretized_dataset(n_rows=10, n_items=9, density=0.45, seed=11)
+
+
+@pytest.fixture(scope="session")
+def small_benchmark():
+    """A small ALL-shaped benchmark (generated + discretized once)."""
+    return load_benchmark("ALL", scale=0.05, use_cache=False)
+
+
+@pytest.fixture(scope="session")
+def pc_benchmark():
+    """A small PC-shaped benchmark (with the test batch shift).
+
+    Scale 0.1 is the smallest at which the batch effect reproduces the
+    paper's regime (enough near-perfect genes that flipping a third of
+    them breaks single-gene learners without starving rule committees).
+    """
+    return load_benchmark("PC", scale=0.1, use_cache=False)

@@ -1,0 +1,37 @@
+"""Guard the checked-in reproduction artifacts against going stale."""
+
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+
+ARTIFACTS = {
+    "results_table2.txt": ("Table 2 (measured)", "RCBT"),
+    "results_fig6.txt": ("Figure 6", "TopkRGS k=1"),
+    "results_fig7.txt": ("Figure 7", "nl"),
+    "results_fig8.txt": ("Figure 8", "Chi-square rank"),
+    "results_ablations.txt": ("RCBT ablation", "no top-k pruning"),
+    "REPORT.md": ("# Reproduction report", "Figure 8"),
+}
+
+
+@pytest.mark.parametrize("name,markers", sorted(ARTIFACTS.items()))
+def test_artifact_present_and_well_formed(name, markers):
+    path = ROOT / name
+    assert path.exists(), f"{name} missing — regenerate per EXPERIMENTS.md"
+    text = path.read_text(encoding="utf-8")
+    for marker in markers:
+        assert marker in text, f"{name} lacks {marker!r}"
+
+
+def test_experiments_md_references_artifacts():
+    text = (ROOT / "EXPERIMENTS.md").read_text(encoding="utf-8")
+    for name in ARTIFACTS:
+        if name.startswith("results_"):
+            assert name in text
+
+
+def test_design_md_paper_confirmation_present():
+    text = (ROOT / "DESIGN.md").read_text(encoding="utf-8")
+    assert "matches the claimed paper" in text

@@ -1,0 +1,108 @@
+"""Tests for the class-blind binning discretizers and the entropy ablation."""
+
+import numpy as np
+import pytest
+
+from repro.data.binning import BinningDiscretizer
+from repro.data.dataset import GeneExpressionDataset
+
+
+def dataset(n=40, seed=0):
+    rng = np.random.default_rng(seed)
+    labels = np.array([0, 1] * (n // 2))
+    values = rng.normal(size=(n, 4))
+    values[:, 0] += labels * 3.0
+    return GeneExpressionDataset(values, labels)
+
+
+class TestValidation:
+    def test_n_bins(self):
+        with pytest.raises(ValueError, match="n_bins"):
+            BinningDiscretizer(n_bins=1)
+
+    def test_strategy(self):
+        with pytest.raises(ValueError, match="strategy"):
+            BinningDiscretizer(strategy="magic")
+
+    def test_transform_unfitted(self):
+        with pytest.raises(RuntimeError, match="fitted"):
+            BinningDiscretizer().transform(dataset())
+
+
+class TestEqualFrequency:
+    def test_all_genes_kept(self):
+        ds = dataset()
+        disc = BinningDiscretizer(n_bins=2).fit(ds)
+        assert disc.n_selected_genes == ds.n_genes
+
+    def test_median_split_balances_bins(self):
+        ds = dataset()
+        items = BinningDiscretizer(n_bins=2).fit_transform(ds)
+        counts = [0] * items.n_items
+        for row in items.rows:
+            for item in row:
+                counts[item] += 1
+        # A 2-bin frequency split puts about half the samples in each bin.
+        for item in items.items:
+            assert abs(counts[item.item_id] - ds.n_samples / 2) <= 1
+
+    def test_one_item_per_gene_per_row(self):
+        ds = dataset()
+        items = BinningDiscretizer(n_bins=3).fit_transform(ds)
+        for row in items.rows:
+            genes = [items.items[i].gene_index for i in row]
+            assert len(genes) == len(set(genes)) == ds.n_genes
+
+    def test_values_fall_in_intervals(self):
+        ds = dataset()
+        disc = BinningDiscretizer(n_bins=3).fit(ds)
+        items = disc.transform(ds)
+        for sample, row in enumerate(items.rows):
+            for item_id in row:
+                item = items.items[item_id]
+                assert item.contains(ds.values[sample, item.gene_index])
+
+
+class TestEqualWidth:
+    def test_cuts_evenly_spaced(self):
+        ds = dataset()
+        disc = BinningDiscretizer(n_bins=4, strategy="width").fit(ds)
+        for cuts in disc.cuts_.values():
+            gaps = np.diff(cuts)
+            assert np.allclose(gaps, gaps[0])
+
+    def test_constant_gene_dropped(self):
+        values = np.column_stack([np.ones(10), np.arange(10.0)])
+        ds = GeneExpressionDataset(values, [0, 1] * 5)
+        disc = BinningDiscretizer(n_bins=2, strategy="width").fit(ds)
+        assert disc.selected_genes_ == [1]
+
+
+class TestEntropyAblation:
+    def test_entropy_discretization_finds_stronger_groups(self):
+        """The paper's preprocessing matters: class-aligned cuts yield
+        rule groups with higher confidence than class-blind bins."""
+        from repro.core.topk_miner import mine_topk
+        from repro.data.discretize import EntropyDiscretizer
+        from repro.data.synthetic import generate_paper_dataset
+
+        train, _ = generate_paper_dataset("ALL", scale=0.03)
+        entropy_items = EntropyDiscretizer().fit_transform(train)
+        binned_items = BinningDiscretizer(n_bins=2).fit_transform(
+            train.select_genes(
+                EntropyDiscretizer().fit(train).selected_genes_
+            )
+        )
+        ms = 19  # 0.7 of the 27 class-1 rows
+        entropy_top = mine_topk(entropy_items, 1, ms, k=1)
+        binned_top = mine_topk(binned_items, 1, ms, k=1)
+
+        def mean_conf(result):
+            confs = [
+                groups[0].confidence
+                for groups in result.per_row.values()
+                if groups
+            ]
+            return sum(confs) / len(confs) if confs else 0.0
+
+        assert mean_conf(entropy_top) >= mean_conf(binned_top)

@@ -1,0 +1,88 @@
+"""Tests for the CBA classifier built from top-1 covering rule groups."""
+
+import pytest
+
+from repro.classifiers import CBAClassifier
+from repro.core.topk_miner import mine_topk, relative_minsup
+from repro.data.synthetic import random_discretized_dataset
+from repro.errors import NotFittedError
+
+
+class TestTraining:
+    def test_fits_and_scores_separable_data(self, small_benchmark):
+        model = CBAClassifier().fit(small_benchmark.train_items)
+        assert model.score(small_benchmark.train_items) >= 0.9
+
+    def test_generalizes(self, small_benchmark):
+        model = CBAClassifier().fit(small_benchmark.train_items)
+        assert model.score(small_benchmark.test_items) >= 0.7
+
+    def test_rules_are_lower_bounds_of_top1_groups(self, small_benchmark):
+        """Lemma 2.2: selected rules come from top-1 covering rule groups.
+
+        Every selected rule's (support set, stats) must match a top-1
+        covering rule group of some training row of its class.
+        """
+        train = small_benchmark.train_items
+        model = CBAClassifier().fit(train)
+        top1 = {}
+        for class_id in range(train.n_classes):
+            minsup = relative_minsup(train, class_id, 0.7)
+            result = mine_topk(train, class_id, minsup, k=1)
+            for groups in result.per_row.values():
+                for group in groups:
+                    top1[(group.row_set, group.consequent)] = group
+        for rule in model.rules_:
+            row_set = train.support_set(rule.antecedent)
+            group = top1.get((row_set, rule.consequent))
+            assert group is not None
+            assert rule.support == group.support
+            assert rule.confidence == group.confidence
+
+    def test_rules_short(self, small_benchmark):
+        model = CBAClassifier().fit(small_benchmark.train_items)
+        assert all(len(rule.antecedent) <= 6 for rule in model.rules_)
+
+    def test_minconf_filters_candidates(self):
+        ds = random_discretized_dataset(12, 10, density=0.5, seed=4)
+        unfiltered = CBAClassifier(minsup_fraction=0.3).fit(ds)
+        filtered = CBAClassifier(minsup_fraction=0.3, minconf=0.95).fit(ds)
+        assert all(r.confidence >= 0.95 for r in filtered.candidate_rules_)
+        assert len(filtered.candidate_rules_) <= len(
+            unfiltered.candidate_rules_
+        )
+
+
+class TestPrediction:
+    def test_predict_before_fit_raises(self, figure1):
+        with pytest.raises(NotFittedError):
+            CBAClassifier().predict_with_sources(figure1)
+
+    def test_sources_are_main_or_default(self, small_benchmark):
+        model = CBAClassifier().fit(small_benchmark.train_items)
+        _preds, sources = model.predict_with_sources(
+            small_benchmark.test_items
+        )
+        assert set(sources) <= {"main", "default"}
+
+    def test_default_class_used_without_match(self):
+        ds = random_discretized_dataset(10, 8, density=0.5, seed=6)
+        model = CBAClassifier(minsup_fraction=0.4).fit(ds)
+        label, source = model.predict_row(frozenset())
+        assert source == "default"
+        assert label == model.default_class_
+
+    def test_first_match_decides(self, small_benchmark):
+        model = CBAClassifier().fit(small_benchmark.train_items)
+        if model.rules_:
+            rule = model.rules_[0]
+            label, source = model.predict_row(rule.antecedent)
+            assert label == rule.consequent
+            assert source == "main"
+
+    def test_deterministic(self, small_benchmark):
+        a = CBAClassifier().fit(small_benchmark.train_items)
+        b = CBAClassifier().fit(small_benchmark.train_items)
+        assert a.predict(small_benchmark.test_items) == b.predict(
+            small_benchmark.test_items
+        )

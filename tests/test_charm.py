@@ -1,0 +1,64 @@
+"""Tests for the CHARM column-enumeration baseline."""
+
+import pytest
+
+from repro.baselines import mine_charm, naive_farmer
+from repro.data.synthetic import random_discretized_dataset
+
+
+def keys(groups):
+    return {
+        (tuple(sorted(g.antecedent)), g.row_set, g.support,
+         round(g.confidence, 9))
+        for g in groups
+    }
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("use_diffsets", (True, False))
+    def test_matches_oracle(self, seed, use_diffsets):
+        ds = random_discretized_dataset(9, 8, density=0.45, seed=seed)
+        for minsup in (1, 2):
+            expected = keys(naive_farmer(ds, 1, minsup))
+            actual = keys(
+                mine_charm(ds, 1, minsup, use_diffsets=use_diffsets).groups
+            )
+            assert actual == expected
+
+    def test_diffsets_equal_tidsets(self, small_random):
+        with_diff = keys(mine_charm(small_random, 1, 1).groups)
+        without = keys(
+            mine_charm(small_random, 1, 1, use_diffsets=False).groups
+        )
+        assert with_diff == without
+
+    def test_other_consequent(self, small_random):
+        expected = keys(naive_farmer(small_random, 0, 2))
+        assert keys(mine_charm(small_random, 0, 2).groups) == expected
+
+
+class TestClosedness:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_outputs_are_closed(self, seed):
+        ds = random_discretized_dataset(9, 8, density=0.5, seed=seed)
+        for group in mine_charm(ds, 1, 1).groups:
+            assert ds.support_set(group.antecedent) == group.row_set
+            # No emitted itemset subsumes another with the same rows.
+        row_sets = [g.row_set for g in mine_charm(ds, 1, 1).groups]
+        assert len(row_sets) == len(set(row_sets))
+
+
+class TestBudget:
+    def test_budget_truncates(self, small_random):
+        result = mine_charm(small_random, 1, 1, node_budget=2)
+        assert not result.completed
+        full = mine_charm(small_random, 1, 1)
+        assert full.completed
+        assert result.nodes_visited <= full.nodes_visited
+
+    def test_metadata(self, small_random):
+        result = mine_charm(small_random, 1, 2)
+        assert result.consequent == 1
+        assert result.minsup == 2
+        assert result.elapsed_seconds >= 0.0

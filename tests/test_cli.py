@@ -1,0 +1,118 @@
+"""Tests for the ``repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.data.loaders import load_discretized, load_expression
+
+
+@pytest.fixture
+def dataset_files(tmp_path):
+    """Generated train/test TSVs at tiny scale."""
+    code = main(["generate", "ALL", "--scale", "0.02",
+                 "--output", str(tmp_path)])
+    assert code == 0
+    return tmp_path / "ALL_train.tsv", tmp_path / "ALL_test.tsv"
+
+
+class TestGenerate:
+    def test_writes_both_splits(self, dataset_files):
+        train_path, test_path = dataset_files
+        assert train_path.exists() and test_path.exists()
+        train = load_expression(train_path)
+        assert train.n_samples == 38
+
+    def test_unknown_dataset_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "XX", "--output", str(tmp_path)])
+
+
+class TestDiscretize:
+    def test_discretize_train_and_test(self, dataset_files, tmp_path, capsys):
+        train_path, test_path = dataset_files
+        items = tmp_path / "items.json"
+        test_items = tmp_path / "test_items.json"
+        code = main([
+            "discretize", str(train_path), "--output", str(items),
+            "--test", str(test_path), "--test-output", str(test_items),
+        ])
+        assert code == 0
+        loaded = load_discretized(items)
+        assert loaded.n_rows == 38
+        assert load_discretized(test_items).items == loaded.items
+        assert "genes kept" in capsys.readouterr().out
+
+
+class TestMine:
+    def test_mine_prints_groups(self, dataset_files, tmp_path, capsys):
+        train_path, _ = dataset_files
+        items = tmp_path / "items.json"
+        main(["discretize", str(train_path), "--output", str(items)])
+        capsys.readouterr()
+        code = main(["mine", str(items), "--k", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "covering rule groups" in out
+        assert "sup=" in out
+
+    def test_mine_explicit_minsup(self, dataset_files, tmp_path, capsys):
+        train_path, _ = dataset_files
+        items = tmp_path / "items.json"
+        main(["discretize", str(train_path), "--output", str(items)])
+        capsys.readouterr()
+        code = main(["mine", str(items), "--minsup", "20"])
+        assert code == 0
+        assert "minsup=20" in capsys.readouterr().out
+
+
+class TestClassify:
+    @pytest.mark.parametrize("name", ("rcbt", "cba", "tree", "svm"))
+    def test_classifiers_run(self, dataset_files, capsys, name):
+        train_path, test_path = dataset_files
+        code = main([
+            "classify", name, "--train", str(train_path),
+            "--test", str(test_path), "--k", "2", "--nl", "2",
+        ])
+        assert code == 0
+        assert "accuracy=" in capsys.readouterr().out
+
+
+class TestExperimentsForwarding:
+    def test_forwards_to_driver(self, capsys):
+        code = main([
+            "experiments", "table1", "--scale", "0.02", "--datasets", "ALL",
+        ])
+        assert code == 0
+        assert "Table 1" in capsys.readouterr().out
+
+
+class TestSaveAndPredict:
+    def test_save_then_predict(self, dataset_files, tmp_path, capsys):
+        train_path, test_path = dataset_files
+        model_path = tmp_path / "model.json"
+        code = main([
+            "classify", "rcbt", "--train", str(train_path),
+            "--test", str(test_path), "--k", "2", "--nl", "2",
+            "--save", str(model_path),
+        ])
+        assert code == 0
+        assert model_path.exists()
+        assert model_path.with_suffix(".pipeline.json").exists()
+        capsys.readouterr()
+        code = main([
+            "predict", "--model", str(model_path),
+            "--pipeline", str(model_path.with_suffix(".pipeline.json")),
+            "--data", str(test_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sample 0:" in out
+        assert "accuracy=" in out
+
+    def test_save_rejected_for_numeric(self, dataset_files, tmp_path):
+        train_path, test_path = dataset_files
+        code = main([
+            "classify", "svm", "--train", str(train_path),
+            "--test", str(test_path), "--save", str(tmp_path / "m.json"),
+        ])
+        assert code == 2

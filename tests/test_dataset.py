@@ -1,0 +1,143 @@
+"""Tests for the dataset containers."""
+
+import numpy as np
+import pytest
+
+from repro.core.bitset import from_indices, popcount
+from repro.data.dataset import DiscretizedDataset, GeneExpressionDataset, Item
+
+
+def tiny_expression():
+    values = np.array([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]])
+    return GeneExpressionDataset(values, [0, 1, 1], ["gA", "gB"], ["n", "t"])
+
+
+class TestGeneExpressionDataset:
+    def test_shapes(self):
+        ds = tiny_expression()
+        assert ds.n_samples == 3
+        assert ds.n_genes == 2
+        assert ds.n_classes == 2
+
+    def test_class_counts(self):
+        assert tiny_expression().class_counts() == [1, 2]
+
+    def test_label_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="labels"):
+            GeneExpressionDataset(np.zeros((3, 2)), [0, 1])
+
+    def test_negative_label_raises(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            GeneExpressionDataset(np.zeros((2, 2)), [0, -1])
+
+    def test_one_dim_values_raises(self):
+        with pytest.raises(ValueError, match="2-d"):
+            GeneExpressionDataset(np.zeros(4), [0, 1, 0, 1])
+
+    def test_gene_name_count_mismatch_raises(self):
+        with pytest.raises(ValueError, match="names"):
+            GeneExpressionDataset(np.zeros((2, 3)), [0, 1], ["only_one"])
+
+    def test_default_names_synthesised(self):
+        ds = GeneExpressionDataset(np.zeros((2, 2)), [0, 1])
+        assert len(ds.gene_names) == 2
+        assert ds.class_names == ["class0", "class1"]
+
+    def test_select_genes(self):
+        ds = tiny_expression().select_genes([1])
+        assert ds.n_genes == 1
+        assert ds.gene_names == ["gB"]
+        assert ds.values[0, 0] == 2.0
+
+    def test_subset_rows(self):
+        ds = tiny_expression().subset([2, 0])
+        assert ds.n_samples == 2
+        assert list(ds.labels) == [1, 0]
+        assert ds.values[0, 0] == 5.0
+
+    def test_repr_mentions_shape(self):
+        assert "samples=3" in repr(tiny_expression())
+
+
+class TestItem:
+    def test_contains_half_open(self):
+        item = Item(0, 0, "g", 1.0, 2.0)
+        assert item.contains(1.0)
+        assert item.contains(1.99)
+        assert not item.contains(2.0)
+
+    def test_label_bounded(self):
+        assert Item(0, 0, "g", 1.0, 2.0).label() == "g[1,2]"
+
+    def test_label_unbounded_side(self):
+        assert Item(0, 0, "g", float("-inf"), 2.0).label() == "g[-inf,2]"
+
+    def test_label_fully_unbounded_is_bare_name(self):
+        assert Item(0, 0, "g", float("-inf"), float("inf")).label() == "g"
+
+
+class TestDiscretizedDataset:
+    def test_figure1_shapes(self, figure1):
+        assert figure1.n_rows == 5
+        assert figure1.n_items == 10
+        assert figure1.n_classes == 2
+        assert figure1.class_counts() == [2, 3]
+
+    def test_item_row_sets_match_rows(self, figure1):
+        sets = figure1.item_row_sets()
+        for item_id, bits in enumerate(sets):
+            expected = from_indices(
+                r for r, row in enumerate(figure1.rows) if item_id in row
+            )
+            assert bits == expected
+
+    def test_class_mask(self, figure1):
+        assert figure1.class_mask(1) == from_indices([0, 1, 2])
+        assert figure1.class_mask(0) == from_indices([3, 4])
+
+    def test_support_set_example_2_1(self, figure1):
+        # R({c, d, e}) = {r1, r3, r4} (0-based: 0, 2, 3).
+        cde = frozenset({2, 3, 4})
+        assert figure1.support_set(cde) == from_indices([0, 2, 3])
+
+    def test_common_items_example_2_1(self, figure1):
+        # I({r1, r3}) = {c, d, e}.
+        assert figure1.common_items(from_indices([0, 2])) == frozenset({2, 3, 4})
+
+    def test_support_set_empty_itemset_is_all_rows(self, figure1):
+        assert popcount(figure1.support_set([])) == figure1.n_rows
+
+    def test_common_items_empty_rows(self, figure1):
+        assert figure1.common_items(0) == frozenset()
+
+    def test_galois_connection(self, figure1):
+        # R(I(X)) contains X and I(R(A)) contains A for all tested pairs.
+        for rows_bits in (from_indices([0]), from_indices([0, 2]),
+                          from_indices([1, 4])):
+            items = figure1.common_items(rows_bits)
+            assert figure1.support_set(items) & rows_bits == rows_bits
+        for itemset in (frozenset({2}), frozenset({2, 3}), frozenset({4, 5})):
+            rows_bits = figure1.support_set(itemset)
+            assert figure1.common_items(rows_bits) >= itemset
+
+    def test_subset_keeps_items(self, figure1):
+        sub = figure1.subset([0, 3])
+        assert sub.n_rows == 2
+        assert sub.n_items == figure1.n_items
+        assert sub.labels == [1, 0]
+
+    def test_rows_of_class(self, figure1):
+        assert figure1.rows_of_class(1) == [0, 1, 2]
+        assert figure1.rows_of_class(0) == [3, 4]
+
+    def test_label_count_mismatch_raises(self, figure1):
+        with pytest.raises(ValueError, match="labels"):
+            DiscretizedDataset([{0}], [0, 1], figure1.items)
+
+    def test_sparse_item_catalog_rejected(self):
+        items = [Item(1, 0, "g", float("-inf"), float("inf"))]
+        with pytest.raises(ValueError, match="dense"):
+            DiscretizedDataset([{1}], [0], items)
+
+    def test_n_genes_counts_distinct(self, figure1):
+        assert figure1.n_genes == 10

@@ -1,0 +1,225 @@
+"""Tests for the Fayyad-Irani MDL discretization."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import GeneExpressionDataset
+from repro.data.discretize import EntropyDiscretizer, entropy, mdl_cut_points
+
+
+class TestEntropy:
+    def test_pure_is_zero(self):
+        assert entropy(np.array([5, 0])) == 0.0
+
+    def test_uniform_two_classes_is_one_bit(self):
+        assert entropy(np.array([4, 4])) == pytest.approx(1.0)
+
+    def test_empty_is_zero(self):
+        assert entropy(np.array([0, 0])) == 0.0
+
+    def test_skewed(self):
+        value = entropy(np.array([1, 3]))
+        assert 0.0 < value < 1.0
+
+
+class TestMdlCutPoints:
+    def test_perfect_separation_accepted(self):
+        values = [1, 2, 3, 4, 10, 11, 12, 13]
+        labels = [0, 0, 0, 0, 1, 1, 1, 1]
+        cuts = mdl_cut_points(values, labels)
+        assert len(cuts) == 1
+        assert 4 < cuts[0] < 10
+
+    def test_cut_at_midpoint(self):
+        values = [0.0, 0.0, 10.0, 10.0]
+        labels = [0, 0, 1, 1]
+        assert mdl_cut_points(values, labels) == [5.0]
+
+    def test_random_labels_rejected(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=40)
+        labels = rng.integers(0, 2, size=40)
+        assert mdl_cut_points(values, labels) == []
+
+    def test_constant_values_no_cut(self):
+        assert mdl_cut_points([1.0] * 10, [0, 1] * 5) == []
+
+    def test_single_value(self):
+        assert mdl_cut_points([1.0], [0]) == []
+
+    def test_three_segments_two_cuts(self):
+        # class 0 low, class 1 middle, class 0 high -> two cuts (segments
+        # must be large enough to pay the MDL model cost).
+        values = list(range(60))
+        labels = [0] * 20 + [1] * 20 + [0] * 20
+        cuts = mdl_cut_points(values, labels)
+        assert len(cuts) == 2
+        assert cuts[0] < cuts[1]
+
+    def test_cuts_sorted(self):
+        values = list(range(40))
+        labels = [0] * 10 + [1] * 10 + [0] * 10 + [1] * 10
+        cuts = mdl_cut_points(values, labels)
+        assert cuts == sorted(cuts)
+
+    def test_weak_signal_rejected_by_mdl(self):
+        # A slightly-shifted overlap should not pay the MDL cost.
+        rng = np.random.default_rng(1)
+        values = np.concatenate([rng.normal(0, 1, 15), rng.normal(0.3, 1, 15)])
+        labels = [0] * 15 + [1] * 15
+        assert mdl_cut_points(values, labels) == []
+
+
+def separable_dataset(n_informative=3, n_noise=5, n=30, seed=0):
+    rng = np.random.default_rng(seed)
+    labels = np.array([0, 1] * (n // 2))
+    informative = rng.normal(0, 0.5, size=(n, n_informative))
+    informative += labels[:, None] * 4.0
+    noise = rng.normal(size=(n, n_noise))
+    values = np.hstack([informative, noise])
+    return GeneExpressionDataset(values, labels)
+
+
+class TestEntropyDiscretizer:
+    def test_selects_informative_genes(self):
+        disc = EntropyDiscretizer().fit(separable_dataset())
+        assert disc.selected_genes_ == [0, 1, 2]
+
+    def test_transform_items_match_cuts(self):
+        ds = separable_dataset()
+        disc = EntropyDiscretizer().fit(ds)
+        items = disc.transform(ds)
+        for row_items, label in zip(items.rows, items.labels):
+            for item_id in row_items:
+                item = items.items[item_id]
+                assert item.gene_index in disc.cuts_
+
+    def test_one_item_per_selected_gene_per_row(self):
+        ds = separable_dataset()
+        disc = EntropyDiscretizer().fit(ds)
+        items = disc.transform(ds)
+        for row in items.rows:
+            genes = [items.items[i].gene_index for i in row]
+            assert len(genes) == len(set(genes)) == disc.n_selected_genes
+
+    def test_value_falls_in_item_interval(self):
+        ds = separable_dataset()
+        disc = EntropyDiscretizer().fit(ds)
+        items = disc.transform(ds)
+        for sample, row in enumerate(items.rows):
+            for item_id in row:
+                item = items.items[item_id]
+                assert item.contains(ds.values[sample, item.gene_index])
+
+    def test_transform_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="fitted"):
+            EntropyDiscretizer().transform(separable_dataset())
+
+    def test_transform_new_data_shares_catalog(self):
+        train = separable_dataset(seed=0)
+        test = separable_dataset(seed=1)
+        disc = EntropyDiscretizer().fit(train)
+        train_items = disc.transform(train)
+        test_items = disc.transform(test)
+        assert train_items.items == test_items.items
+
+    def test_max_cuts_per_gene(self):
+        values = np.array([list(range(40))]).T.astype(float)
+        labels = [0] * 10 + [1] * 10 + [0] * 10 + [1] * 10
+        ds = GeneExpressionDataset(values, labels)
+        disc = EntropyDiscretizer(max_cuts_per_gene=1).fit(ds)
+        if disc.selected_genes_:
+            assert all(len(c) <= 1 for c in disc.cuts_.values())
+
+    def test_fit_transform_equals_fit_then_transform(self):
+        ds = separable_dataset()
+        a = EntropyDiscretizer().fit_transform(ds)
+        disc = EntropyDiscretizer().fit(ds)
+        b = disc.transform(ds)
+        assert a.rows == b.rows
+
+    def test_item_ids_dense_and_ordered(self):
+        ds = separable_dataset()
+        disc = EntropyDiscretizer().fit(ds)
+        assert [item.item_id for item in disc.items_] == list(
+            range(len(disc.items_))
+        )
+
+    def test_no_informative_genes_yields_empty_catalog(self):
+        rng = np.random.default_rng(3)
+        ds = GeneExpressionDataset(
+            rng.normal(size=(20, 4)), rng.integers(0, 2, size=20)
+        )
+        disc = EntropyDiscretizer().fit(ds)
+        items = disc.transform(ds)
+        assert items.n_items == 0
+        assert all(len(row) == 0 for row in items.rows)
+
+
+class TestFromCuts:
+    def test_rebuilt_discretizer_transforms_identically(self):
+        ds = separable_dataset()
+        fitted = EntropyDiscretizer().fit(ds)
+        rebuilt = EntropyDiscretizer.from_cuts(
+            fitted.cuts_, ds.gene_names, ds.class_names
+        )
+        assert rebuilt.transform(ds).rows == fitted.transform(ds).rows
+        assert rebuilt.items_ == fitted.items_
+
+    def test_empty_cut_lists_dropped(self):
+        rebuilt = EntropyDiscretizer.from_cuts(
+            {0: [1.0], 1: []}, ["g0", "g1"]
+        )
+        assert rebuilt.selected_genes_ == [0]
+
+    def test_string_free_cut_coercion(self):
+        rebuilt = EntropyDiscretizer.from_cuts({0: [2.0, 1.0]}, ["g0"])
+        assert rebuilt.cuts_[0] == [1.0, 2.0]
+
+
+class TestMissingValues:
+    def test_mdl_ignores_nans(self):
+        values = [1, 2, 3, 4, float("nan"), 10, 11, 12, 13]
+        labels = [0, 0, 0, 0, 1, 1, 1, 1, 1]
+        cuts = mdl_cut_points(values, labels)
+        assert len(cuts) == 1
+
+    def test_transform_skips_missing_measurements(self):
+        ds = separable_dataset()
+        disc = EntropyDiscretizer().fit(ds)
+        holey = GeneExpressionDataset(
+            ds.values.copy(), ds.labels, ds.gene_names, ds.class_names
+        )
+        holey.values[0, disc.selected_genes_[0]] = float("nan")
+        items = disc.transform(holey)
+        full = disc.transform(ds)
+        assert len(items.rows[0]) == len(full.rows[0]) - 1
+        assert items.rows[1] == full.rows[1]
+
+    def test_generator_missing_rate(self):
+        import dataclasses
+
+        import numpy as np
+
+        from repro.data.synthetic import ALL_AML, generate_dataset
+
+        spec = dataclasses.replace(ALL_AML.scaled(0.05), missing_rate=0.1)
+        train, test = generate_dataset(spec)
+        train_missing = np.isnan(train.values).mean()
+        assert 0.05 < train_missing < 0.15
+        assert np.isnan(test.values).any()
+
+    def test_pipeline_with_missing_values_end_to_end(self):
+        import dataclasses
+
+        from repro.classifiers import RCBTClassifier
+        from repro.data.synthetic import ALL_AML, generate_dataset
+
+        spec = dataclasses.replace(ALL_AML.scaled(0.05), missing_rate=0.05)
+        train, test = generate_dataset(spec)
+        disc = EntropyDiscretizer().fit(train)
+        train_items = disc.transform(train)
+        lengths = {len(row) for row in train_items.rows}
+        assert len(lengths) > 1  # rows now vary in item count
+        model = RCBTClassifier(k=3, nl=5).fit(train_items)
+        assert model.score(disc.transform(test)) >= 0.7

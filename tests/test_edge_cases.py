@@ -1,0 +1,118 @@
+"""Edge cases across modules: degenerate datasets, extreme parameters."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers import CBAClassifier, RCBTClassifier, SVMClassifier
+from repro.core.topk_miner import mine_topk
+from repro.data.dataset import DiscretizedDataset, GeneExpressionDataset, Item
+from repro.data.discretize import EntropyDiscretizer, mdl_cut_points
+
+
+def itemized(rows, labels, n_items=None):
+    if n_items is None:
+        n_items = max((max(r) for r in rows if r), default=-1) + 1
+    items = [
+        Item(i, i, f"g{i}", float("-inf"), float("inf"))
+        for i in range(n_items)
+    ]
+    return DiscretizedDataset(rows, labels, items, class_names=["c0", "c1"])
+
+
+class TestDegenerateMining:
+    def test_single_positive_row(self):
+        ds = itemized([{0, 1}, {2}], [1, 0])
+        result = mine_topk(ds, 1, minsup=1, k=2)
+        assert len(result.per_row) == 1
+        groups = result.per_row[0]
+        assert groups and groups[0].support == 1
+
+    def test_minsup_above_class_size_empty_lists(self):
+        ds = itemized([{0}, {0}, {1}], [1, 1, 0])
+        result = mine_topk(ds, 1, minsup=3, k=1)
+        assert all(not groups for groups in result.per_row.values())
+
+    def test_identical_rows_one_group(self):
+        ds = itemized([{0, 1}, {0, 1}, {0, 1}, {2}], [1, 1, 1, 0])
+        result = mine_topk(ds, 1, minsup=2, k=5)
+        for groups in result.per_row.values():
+            assert len(groups) == 1
+            assert groups[0].support == 3
+
+    def test_k_larger_than_group_count(self):
+        ds = itemized([{0}, {1}], [1, 0])
+        result = mine_topk(ds, 1, minsup=1, k=100)
+        assert len(result.per_row[0]) >= 1
+
+    def test_disjoint_classes_full_confidence(self):
+        ds = itemized([{0}, {0}, {1}, {1}], [1, 1, 0, 0])
+        result = mine_topk(ds, 1, minsup=2, k=1)
+        for groups in result.per_row.values():
+            assert groups[0].confidence == 1.0
+
+    def test_rows_with_no_frequent_items_uncovered(self):
+        # Row 1's only item appears once; with minsup=2 it has no groups.
+        ds = itemized([{0, 1}, {2}, {0}], [1, 1, 1])
+        result = mine_topk(ds, 1, minsup=2, k=1)
+        assert result.per_row[1] == []
+        assert result.per_row[0] and result.per_row[2]
+
+
+class TestDegenerateClassifiers:
+    def test_cba_single_class_training(self):
+        ds = DiscretizedDataset(
+            [{0}, {0}],
+            [0, 0],
+            [Item(0, 0, "g0", float("-inf"), float("inf"))],
+            class_names=["only", "other"],
+        )
+        model = CBAClassifier(minsup_fraction=0.5).fit(ds)
+        assert model.predict_row(frozenset({0}))[0] == 0
+
+    def test_rcbt_trains_on_tiny_data(self):
+        ds = itemized([{0}, {0}, {1}, {1}], [1, 1, 0, 0])
+        model = RCBTClassifier(k=2, nl=2, minsup_fraction=0.5).fit(ds)
+        assert model.score(ds) == 1.0
+
+    def test_svm_tiny_sample(self):
+        X = np.array([[0.0, 1.0], [1.0, 0.0], [0.1, 0.9], [0.9, 0.1]])
+        y = [0, 1, 0, 1]
+        model = SVMClassifier(kernel="linear").fit(X, y)
+        assert model.score(X, y) >= 0.75
+
+    def test_svm_explicit_gamma(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(30, 3))
+        y = (X[:, 0] > 0).astype(int)
+        model = SVMClassifier(kernel="poly", gamma=0.5).fit(X, y)
+        assert model.score(X, y) >= 0.8
+
+
+class TestMulticlassDiscretization:
+    def test_three_class_mdl(self):
+        # Three pure blocks along the value axis -> two accepted cuts.
+        values = list(range(90))
+        labels = [0] * 30 + [1] * 30 + [2] * 30
+        cuts = mdl_cut_points(values, labels, n_classes=3)
+        assert len(cuts) == 2
+
+    def test_three_class_discretizer(self):
+        rng = np.random.default_rng(1)
+        labels = np.array([0, 1, 2] * 20)
+        values = rng.normal(size=(60, 3))
+        values[:, 0] += labels * 4.0
+        ds = GeneExpressionDataset(values, labels)
+        disc = EntropyDiscretizer().fit(ds)
+        assert 0 in disc.selected_genes_
+        items = disc.transform(ds)
+        assert items.n_classes == 3
+
+
+class TestCaching:
+    def test_item_row_sets_cached(self, figure1):
+        first = figure1.item_row_sets()
+        assert figure1.item_row_sets() is first
+
+    def test_class_mask_cached(self, figure1):
+        figure1.class_mask(0)
+        assert figure1._class_masks is not None

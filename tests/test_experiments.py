@@ -1,0 +1,248 @@
+"""Tests for the experiment drivers (at tiny scale)."""
+
+import pytest
+
+from repro.experiments import fig6, fig7, fig8, table1, table2
+
+SCALE = 0.02
+
+
+class TestTable1:
+    def test_run_and_render(self):
+        rows = table1.run(scale=SCALE, datasets=("ALL",))
+        assert rows[0].name == "ALL"
+        assert rows[0].n_train == 38
+        assert rows[0].n_test == 34
+        assert rows[0].n_genes_discretized <= rows[0].n_genes
+        text = table1.render(rows)
+        assert "Table 1" in text
+        assert "ALL" in text
+
+    def test_main_cli(self, capsys):
+        assert table1.main(["--scale", str(SCALE), "--datasets", "ALL"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1 (measured)" in out
+
+
+class TestTable2:
+    def test_run_subset(self):
+        result = table2.run(
+            scale=SCALE,
+            datasets=("ALL",),
+            classifiers=("RCBT", "CBA", "C4.5-single"),
+            k=2,
+            nl=3,
+        )
+        grid = result.cells["ALL"]
+        assert set(grid) == {"RCBT", "CBA", "C4.5-single"}
+        for cell in grid.values():
+            assert 0.0 <= cell.accuracy <= 1.0
+        averages = result.averages()
+        assert "RCBT" in averages
+
+    def test_render_with_details(self):
+        result = table2.run(
+            scale=SCALE, datasets=("ALL",), classifiers=("RCBT", "CBA"),
+            k=2, nl=2,
+        )
+        text = table2.render(result, details=True, show_paper=True)
+        assert "Table 2 (measured)" in text
+        assert "Table 2 (paper)" in text
+        assert "Decision details" in text
+
+    def test_main_cli(self, capsys):
+        code = table2.main([
+            "--scale", str(SCALE), "--datasets", "ALL",
+            "--classifiers", "CBA", "--k", "1", "--nl", "1",
+        ])
+        assert code == 0
+        assert "CBA" in capsys.readouterr().out
+
+
+class TestFig6:
+    def test_sweep(self):
+        result = fig6.run(
+            scale=SCALE, datasets=("ALL",), fractions=(0.95, 0.9),
+            time_budget=5.0,
+        )
+        rows = result.panels["ALL"]
+        assert len(rows) == 2
+        for _fraction, minsup, series in rows:
+            assert minsup >= 1
+            assert "TopkRGS k=1" in series
+            assert "FARMER" in series
+            assert "FARMER+prefix" in series
+
+    def test_panel_e(self):
+        result = fig6.run_panel_e(
+            scale=SCALE, datasets=("ALL",), k_values=(1, 5), time_budget=5.0
+        )
+        curve = result.k_panel["ALL"]
+        assert [k for k, _t in curve] == [1, 5]
+
+    def test_column_baselines(self):
+        result = fig6.run(
+            scale=SCALE, datasets=("ALL",), fractions=(0.95,),
+            time_budget=5.0, column_baselines=True,
+        )
+        series = result.panels["ALL"][0][2]
+        assert "CHARM" in series
+        assert "CLOSET+" in series
+
+    def test_render(self):
+        result = fig6.run(
+            scale=SCALE, datasets=("ALL",), fractions=(0.95,), time_budget=5.0
+        )
+        text = fig6.render(result)
+        assert "Figure 6" in text
+
+    def test_main_cli(self, capsys):
+        code = fig6.main([
+            "--scale", str(SCALE), "--datasets", "ALL",
+            "--fractions", "0.95", "--time-budget", "5", "--panel", "sweep",
+        ])
+        assert code == 0
+        assert "Figure 6" in capsys.readouterr().out
+
+
+class TestFig7:
+    def test_run_and_render(self):
+        result = fig7.run(
+            scale=SCALE, datasets=("ALL",), nl_values=(1, 3), k=2
+        )
+        curve = result.curves["ALL"]
+        assert [nl for nl, _acc in curve] == [1, 3]
+        assert all(0.0 <= acc <= 1.0 for _nl, acc in curve)
+        assert "Figure 7" in fig7.render(result)
+
+    def test_main_cli(self, capsys):
+        code = fig7.main([
+            "--scale", str(SCALE), "--datasets", "ALL",
+            "--nl-values", "1", "2", "--k", "2",
+        ])
+        assert code == 0
+        assert "Figure 7" in capsys.readouterr().out
+
+
+class TestFig8:
+    def test_run(self):
+        result = fig8.run(scale=SCALE, dataset="PC", nl=3)
+        assert result.n_rule_genes > 0
+        assert result.occurrences
+        assert all(rank >= 1 for rank in result.ranks.values())
+        top = result.top_genes(5)
+        counts = [count for _g, count, _r in top]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_quantile_shares(self):
+        result = fig8.run(scale=SCALE, dataset="PC", nl=3)
+        shares = result.rank_quantile_shares((0.5, 1.0))
+        assert shares[1.0] == pytest.approx(1.0)
+        assert 0.0 <= shares[0.5] <= 1.0
+
+    def test_render(self):
+        result = fig8.run(scale=SCALE, dataset="PC", nl=2)
+        text = fig8.render(result)
+        assert "Figure 8" in text
+
+    def test_main_cli(self, capsys):
+        code = fig8.main(["--scale", str(SCALE), "--dataset", "PC", "--nl", "2"])
+        assert code == 0
+        assert "Figure 8" in capsys.readouterr().out
+
+
+class TestDispatcher:
+    def test_unknown_experiment(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["nope"]) == 2
+
+    def test_help(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main([]) == 2
+        assert main(["--help"]) == 0
+
+
+class TestAblations:
+    def test_classifier_ablation(self):
+        from repro.experiments import ablations
+
+        result = ablations.run_classifier_ablation(
+            scale=SCALE, datasets=("ALL",), k=2, nl=3
+        )
+        grid = result.accuracy["ALL"]
+        assert set(grid) == {"RCBT", "no standby", "first match", "nl=1",
+                             "CBA"}
+        assert all(0.0 <= acc <= 1.0 for acc in grid.values())
+
+    def test_miner_ablation(self):
+        from repro.experiments import ablations
+
+        result = ablations.run_miner_ablation(scale=SCALE, datasets=("ALL",))
+        counters = result.miner_nodes["ALL"]
+        assert counters["no top-k pruning"] >= counters["all optimizations"]
+        assert counters["pruning only"] >= counters["all optimizations"]
+
+    def test_render(self):
+        from repro.experiments import ablations
+
+        result = ablations.run_classifier_ablation(
+            scale=SCALE, datasets=("ALL",), k=2, nl=2
+        )
+        text = ablations.render(result)
+        assert "RCBT ablation" in text
+
+    def test_main_cli(self, capsys):
+        from repro.experiments import ablations
+
+        code = ablations.main([
+            "--scale", str(SCALE), "--datasets", "ALL",
+            "--k", "2", "--nl", "2", "--which", "miner",
+        ])
+        assert code == 0
+        assert "MineTopkRGS ablation" in capsys.readouterr().out
+
+
+class TestTopGenesSensitivity:
+    def test_run_top_genes(self):
+        result = table2.run_top_genes(
+            scale=SCALE, dataset="ALL", gene_counts=(5, 10)
+        )
+        assert set(result) == {0, 5, 10}
+        for cells in result.values():
+            assert set(cells) == {"C4.5-single", "SVM"}
+            assert all(0.0 <= acc <= 1.0 for acc in cells.values())
+
+    def test_main_flag(self, capsys):
+        code = table2.main([
+            "--scale", str(SCALE), "--datasets", "ALL",
+            "--classifiers", "CBA", "--k", "1", "--nl", "1", "--top-genes",
+        ])
+        assert code == 0
+        assert "Top-N entropy-ranked genes" in capsys.readouterr().out
+
+
+class TestReport:
+    def test_report_runs_everything_tiny(self, tmp_path):
+        from repro.experiments import report
+
+        text = report.run(
+            scale=SCALE, datasets=("ALL", "PC"), time_budget=3.0, k=2, nl=2
+        )
+        for heading in ("Table 1", "Table 2", "Figure 6", "Figure 7",
+                        "Figure 8", "Ablations"):
+            assert heading in text
+
+    def test_report_main_writes_file(self, tmp_path, capsys):
+        from repro.experiments import report
+
+        out = tmp_path / "REPORT.md"
+        code = report.main([
+            "--scale", str(SCALE), "--datasets", "ALL", "PC",
+            "--time-budget", "3", "--k", "2", "--nl", "2",
+            "--output", str(out),
+        ])
+        assert code == 0
+        assert out.exists()
+        assert "# Reproduction report" in out.read_text()

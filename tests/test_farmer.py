@@ -1,0 +1,70 @@
+"""Tests for the FARMER baseline."""
+
+import pytest
+
+from repro.baselines import mine_farmer, naive_farmer
+from repro.data.synthetic import random_discretized_dataset
+
+
+def keys(groups):
+    return {
+        (tuple(sorted(g.antecedent)), g.row_set, g.support,
+         round(g.confidence, 9))
+        for g in groups
+    }
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("minsup", (1, 2, 3))
+    def test_matches_oracle(self, seed, minsup):
+        ds = random_discretized_dataset(9, 8, density=0.45, seed=seed)
+        expected = keys(naive_farmer(ds, 1, minsup))
+        actual = keys(mine_farmer(ds, 1, minsup).groups)
+        assert actual == expected
+
+    @pytest.mark.parametrize("minconf", (0.0, 0.5, 0.9))
+    def test_minconf_filter(self, minconf, small_random):
+        expected = keys(naive_farmer(small_random, 1, 1, minconf))
+        actual = keys(mine_farmer(small_random, 1, 1, minconf=minconf).groups)
+        assert actual == expected
+
+    def test_other_consequent(self, small_random):
+        expected = keys(naive_farmer(small_random, 0, 2))
+        actual = keys(mine_farmer(small_random, 0, 2).groups)
+        assert actual == expected
+
+
+class TestFigure1:
+    def test_known_groups_present(self, figure1):
+        result = mine_farmer(figure1, 1, minsup=2)
+        antecedents = {tuple(sorted(g.antecedent)) for g in result.groups}
+        assert (0, 1, 2) in antecedents  # abc
+        assert (2,) in antecedents  # c
+        assert (2, 3, 4) in antecedents  # cde
+
+    def test_group_count_exceeds_topk_output(self, figure1):
+        from repro.core.topk_miner import mine_topk
+
+        farmer = mine_farmer(figure1, 1, minsup=2)
+        topk = mine_topk(figure1, 1, minsup=2, k=1)
+        assert len(farmer.groups) >= len(topk.unique_groups())
+
+
+class TestInterface:
+    def test_sorted_by_significance(self, small_random):
+        result = mine_farmer(small_random, 1, 1)
+        ordered = result.sorted_by_significance()
+        stats = [(g.confidence, g.support) for g in ordered]
+        assert stats == sorted(stats, reverse=True)
+
+    def test_invalid_minconf(self, small_random):
+        with pytest.raises(ValueError, match="minconf"):
+            mine_farmer(small_random, 1, 1, minconf=1.5)
+
+    def test_result_metadata(self, small_random):
+        result = mine_farmer(small_random, 1, 2, minconf=0.4)
+        assert result.consequent == 1
+        assert result.minsup == 2
+        assert result.minconf == 0.4
+        assert result.completed

@@ -1,0 +1,77 @@
+"""Tests for the hybrid column-then-row miner (Section 8 extension)."""
+
+import pytest
+
+from repro.core.hybrid import mine_topk_hybrid
+from repro.core.topk_miner import mine_topk
+from repro.data.synthetic import random_discretized_dataset
+
+
+def profiles(per_row):
+    return {
+        row: [(g.confidence, g.support) for g in groups]
+        for row, groups in per_row.items()
+    }
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_direct_miner(self, seed):
+        ds = random_discretized_dataset(10, 9, density=0.45, seed=seed)
+        for consequent in (0, 1):
+            for k in (1, 3):
+                direct = mine_topk(ds, consequent, 1, k)
+                hybrid = mine_topk_hybrid(ds, consequent, 1, k)
+                assert profiles(hybrid.per_row) == profiles(direct.per_row)
+
+    def test_figure1(self, figure1):
+        direct = mine_topk(figure1, 1, minsup=2, k=1)
+        hybrid = mine_topk_hybrid(figure1, 1, minsup=2, k=1)
+        assert profiles(hybrid.per_row) == profiles(direct.per_row)
+
+    def test_minsup_respected(self, small_random):
+        result = mine_topk_hybrid(small_random, 1, minsup=3, k=2)
+        for groups in result.per_row.values():
+            assert all(g.support >= 3 for g in groups)
+
+    def test_groups_are_closed_and_exact(self, small_random):
+        ds = small_random
+        result = mine_topk_hybrid(ds, 1, minsup=1, k=2)
+        for row, groups in result.per_row.items():
+            for group in groups:
+                assert ds.support_set(group.antecedent) == group.row_set
+                assert ds.common_items(group.row_set) == group.antecedent
+                assert group.row_set >> row & 1
+
+
+class TestStats:
+    def test_partition_stats(self, small_random):
+        result = mine_topk_hybrid(small_random, 1, minsup=1, k=1)
+        stats = result.hybrid_stats
+        assert stats.n_partitions >= 1
+        assert stats.max_partition_rows <= small_random.n_rows
+        assert stats.completed
+        assert result.stats.engine == "hybrid/bitset"
+
+    def test_partition_budget_marks_incomplete(self, small_random):
+        result = mine_topk_hybrid(
+            small_random, 1, minsup=1, k=5, node_budget_per_partition=1
+        )
+        # With one node per partition the run is necessarily truncated.
+        assert not result.stats.completed
+
+    def test_tall_dataset(self):
+        ds = random_discretized_dataset(30, 12, density=0.35, seed=44)
+        direct = mine_topk(ds, 1, minsup=2, k=2)
+        hybrid = mine_topk_hybrid(ds, 1, minsup=2, k=2)
+        assert profiles(hybrid.per_row) == profiles(direct.per_row)
+
+
+class TestDiskSpill:
+    def test_spill_matches_in_memory(self, tmp_path, small_random):
+        in_memory = mine_topk_hybrid(small_random, 1, minsup=1, k=2)
+        spilled = mine_topk_hybrid(
+            small_random, 1, minsup=1, k=2, spill_dir=str(tmp_path)
+        )
+        assert profiles(spilled.per_row) == profiles(in_memory.per_row)
+        assert list(tmp_path.glob("partition_*.json"))

@@ -1,0 +1,82 @@
+"""End-to-end integration tests over the whole pipeline."""
+
+import pytest
+
+from repro.analysis import evaluate
+from repro.classifiers import CBAClassifier, RCBTClassifier
+from repro.core.topk_miner import mine_topk, relative_minsup
+from repro.data import generate_paper_dataset
+from repro.data.discretize import EntropyDiscretizer
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    """generate -> discretize -> (train items, test items)."""
+    train, test = generate_paper_dataset("ALL", scale=0.05)
+    discretizer = EntropyDiscretizer().fit(train)
+    return train, test, discretizer
+
+
+class TestPipeline:
+    def test_discretization_selects_features(self, pipeline):
+        train, _test, discretizer = pipeline
+        assert 0 < discretizer.n_selected_genes < train.n_genes
+
+    def test_shared_catalog(self, pipeline):
+        train, test, discretizer = pipeline
+        train_items = discretizer.transform(train)
+        test_items = discretizer.transform(test)
+        assert train_items.items == test_items.items
+        assert train_items.n_rows == 38
+        assert test_items.n_rows == 34
+
+    def test_mining_covers_all_rows(self, pipeline):
+        train, _test, discretizer = pipeline
+        items = discretizer.transform(train)
+        for class_id in (0, 1):
+            minsup = relative_minsup(items, class_id, 0.7)
+            result = mine_topk(items, class_id, minsup, k=5)
+            assert result.covered_rows() == items.rows_of_class(class_id)
+
+    def test_rcbt_end_to_end(self, pipeline):
+        train, test, discretizer = pipeline
+        train_items = discretizer.transform(train)
+        test_items = discretizer.transform(test)
+        model = RCBTClassifier(k=5, nl=10).fit(train_items)
+        predictions, sources = model.predict_with_sources(test_items)
+        report = evaluate(test_items.labels, predictions, sources)
+        assert report.accuracy >= 0.85
+        assert report.n_samples == 34
+
+    def test_cba_end_to_end(self, pipeline):
+        train, test, discretizer = pipeline
+        train_items = discretizer.transform(train)
+        test_items = discretizer.transform(test)
+        model = CBAClassifier().fit(train_items)
+        assert model.score(test_items) >= 0.7
+
+    def test_rcbt_beats_or_matches_cba(self, pipeline):
+        train, test, discretizer = pipeline
+        train_items = discretizer.transform(train)
+        test_items = discretizer.transform(test)
+        rcbt = RCBTClassifier(k=5, nl=10).fit(train_items)
+        cba = CBAClassifier().fit(train_items)
+        assert rcbt.score(test_items) >= cba.score(test_items) - 0.03
+
+
+class TestMinerAgreementAtScale:
+    def test_topk_same_across_engines(self, pipeline):
+        train, _test, discretizer = pipeline
+        items = discretizer.transform(train)
+        minsup = relative_minsup(items, 1, 0.8)
+        results = {
+            engine: mine_topk(items, 1, minsup, k=3, engine=engine)
+            for engine in ("bitset", "table", "tree")
+        }
+        reference = results["bitset"]
+        for engine, result in results.items():
+            for row in reference.per_row:
+                ref = [(g.confidence, g.support)
+                       for g in reference.per_row[row]]
+                got = [(g.confidence, g.support) for g in result.per_row[row]]
+                assert ref == got, engine

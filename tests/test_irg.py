@@ -1,0 +1,57 @@
+"""Tests for the IRG (upper-bound-rule) classifier."""
+
+import pytest
+
+from repro.classifiers import CBAClassifier, IRGClassifier
+from repro.errors import NotFittedError
+
+
+class TestTraining:
+    def test_fits_benchmark(self, small_benchmark):
+        model = IRGClassifier(minconf=0.8).fit(small_benchmark.train_items)
+        assert model.selected_ is not None
+        assert model.score(small_benchmark.train_items) >= 0.8
+
+    def test_rules_are_long_upper_bounds(self, small_benchmark):
+        irg = IRGClassifier(minconf=0.8).fit(small_benchmark.train_items)
+        cba = CBAClassifier().fit(small_benchmark.train_items)
+        if irg.selected_.rules and cba.rules_:
+            mean_irg = sum(len(r.antecedent) for r in irg.selected_.rules) / len(
+                irg.selected_.rules
+            )
+            mean_cba = sum(len(r.antecedent) for r in cba.rules_) / len(
+                cba.rules_
+            )
+            assert mean_irg >= mean_cba
+
+    def test_rules_satisfy_minconf(self, small_benchmark):
+        model = IRGClassifier(minconf=0.8).fit(small_benchmark.train_items)
+        assert all(r.confidence >= 0.8 for r in model.selected_.rules)
+
+    def test_budget_marks_truncation(self, small_benchmark):
+        model = IRGClassifier(node_budget=2).fit(small_benchmark.train_items)
+        assert model.mining_completed_ in (True, False)
+
+
+class TestPrediction:
+    def test_not_fitted(self, figure1):
+        with pytest.raises(NotFittedError):
+            IRGClassifier().predict_with_sources(figure1)
+
+    def test_defaults_at_least_as_often_as_cba(self, small_benchmark):
+        """Upper bounds are maximally specific, so IRG matches test rows
+        no more often than lower-bound-based CBA — the paper's
+        explanation for its weak Table 2 showing."""
+        train, test = small_benchmark.train_items, small_benchmark.test_items
+        irg = IRGClassifier(minconf=0.8).fit(train)
+        cba = CBAClassifier().fit(train)
+        _p, irg_sources = irg.predict_with_sources(test)
+        _p, cba_sources = cba.predict_with_sources(test)
+        assert irg_sources.count("default") >= cba_sources.count("default")
+
+    def test_sources(self, small_benchmark):
+        model = IRGClassifier().fit(small_benchmark.train_items)
+        _preds, sources = model.predict_with_sources(
+            small_benchmark.test_items
+        )
+        assert set(sources) <= {"main", "default"}

@@ -1,0 +1,121 @@
+"""Tests for dataset serialization and the benchmark registry."""
+
+import numpy as np
+import pytest
+
+from repro.data.loaders import (
+    load_benchmark,
+    load_discretized,
+    load_expression,
+    save_discretized,
+    save_expression,
+)
+from repro.data.synthetic import generate_paper_dataset, make_figure1_example
+
+
+class TestExpressionRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        original, _ = generate_paper_dataset("ALL", scale=0.02)
+        path = tmp_path / "data.tsv"
+        save_expression(original, path)
+        loaded = load_expression(path)
+        assert np.allclose(loaded.values, original.values, atol=1e-5)
+        assert list(loaded.labels) == list(original.labels)
+        assert loaded.gene_names == original.gene_names
+        assert loaded.class_names == original.class_names
+        assert loaded.name == original.name
+
+    def test_missing_header_raises(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("no header here\n")
+        with pytest.raises(ValueError, match="header"):
+            load_expression(path)
+
+
+class TestDiscretizedRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        original = make_figure1_example()
+        path = tmp_path / "items.json"
+        save_discretized(original, path)
+        loaded = load_discretized(path)
+        assert loaded.rows == original.rows
+        assert loaded.labels == original.labels
+        assert loaded.class_names == original.class_names
+        assert [i.gene_name for i in loaded.items] == [
+            i.gene_name for i in original.items
+        ]
+
+    def test_infinite_bounds_roundtrip(self, tmp_path):
+        original = make_figure1_example()
+        path = tmp_path / "items.json"
+        save_discretized(original, path)
+        loaded = load_discretized(path)
+        assert loaded.items[0].low == float("-inf")
+        assert loaded.items[0].high == float("inf")
+
+
+class TestLoadBenchmark:
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_benchmark("NOPE")
+
+    def test_bundle_consistency(self, small_benchmark):
+        bm = small_benchmark
+        assert bm.train_items.n_rows == bm.train.n_samples
+        assert bm.test_items.n_rows == bm.test.n_samples
+        assert bm.train_items.items == bm.test_items.items
+        assert bm.name == "ALL"
+
+    def test_cut_cache_reused(self, tmp_path):
+        first = load_benchmark("ALL", scale=0.02, cache_dir=tmp_path)
+        cached = list(tmp_path.glob("*.cuts.json"))
+        assert len(cached) == 1
+        second = load_benchmark("ALL", scale=0.02, cache_dir=tmp_path)
+        assert second.train_items.rows == first.train_items.rows
+        assert (
+            second.discretizer.selected_genes_
+            == first.discretizer.selected_genes_
+        )
+
+    def test_no_cache_still_works(self):
+        bm = load_benchmark("ALL", scale=0.02, use_cache=False)
+        assert bm.train_items.n_items > 0
+
+
+class TestCorruptInputs:
+    def test_malformed_json_raises(self, tmp_path):
+        import json
+
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(json.JSONDecodeError):
+            load_discretized(path)
+
+    def test_unknown_class_name_raises(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text(
+            '#{"name": "x", "gene_names": ["g0"], "class_names": ["a"]}\n'
+            "mystery\t1.0\n"
+        )
+        with pytest.raises(KeyError):
+            load_expression(path)
+
+    def test_non_numeric_cell_raises(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text(
+            '#{"name": "x", "gene_names": ["g0"], "class_names": ["a"]}\n'
+            "a\tnot_a_number\n"
+        )
+        with pytest.raises(ValueError):
+            load_expression(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "ok.tsv"
+        path.write_text(
+            '#{"name": "x", "gene_names": ["g0"], "class_names": ["a", "b"]}\n'
+            "a\t1.0\n"
+            "\n"
+            "b\t2.0\n"
+        )
+        ds = load_expression(path)
+        assert ds.n_samples == 2

@@ -1,0 +1,122 @@
+"""Tests for rule-group member enumeration and the chi-square constraint."""
+
+import pytest
+
+from repro.analysis.significance import rule_chi_square
+from repro.baselines import mine_farmer
+from repro.core.lower_bounds import find_lower_bounds
+from repro.core.members import count_members, is_member, iter_members
+from repro.core.topk_miner import mine_topk
+from repro.data.synthetic import random_discretized_dataset
+
+A, B, C = 0, 1, 2
+
+
+class TestExample22Membership:
+    """Example 2.2: the group {a -> C, b -> C, ..., abc -> C}."""
+
+    @pytest.fixture
+    def abc_group(self, figure1):
+        result = mine_topk(figure1, 1, minsup=2, k=1)
+        return result.per_row[0][0]
+
+    def test_count_is_six(self, abc_group, figure1):
+        bounds = find_lower_bounds(figure1, abc_group, nl=5)
+        lowers = [r.antecedent for r in bounds.rules]
+        assert count_members(abc_group.antecedent, lowers) == 6
+
+    def test_enumeration_matches_paper_listing(self, abc_group, figure1):
+        bounds = find_lower_bounds(figure1, abc_group, nl=5)
+        lowers = [r.antecedent for r in bounds.rules]
+        members = set(iter_members(abc_group.antecedent, lowers))
+        expected = {
+            frozenset({A}), frozenset({B}), frozenset({A, B}),
+            frozenset({A, C}), frozenset({B, C}), frozenset({A, B, C}),
+        }
+        assert members == expected
+
+    def test_every_member_has_group_support(self, abc_group, figure1):
+        bounds = find_lower_bounds(figure1, abc_group, nl=5)
+        lowers = [r.antecedent for r in bounds.rules]
+        for member in iter_members(abc_group.antecedent, lowers):
+            assert is_member(figure1, abc_group, member)
+
+    def test_non_members_rejected(self, abc_group, figure1):
+        assert not is_member(figure1, abc_group, {C})  # R(c) is bigger
+        assert not is_member(figure1, abc_group, {9})  # not within upper
+        assert not is_member(figure1, abc_group, set())
+
+
+class TestEnumerationControls:
+    def test_limit(self, figure1):
+        members = list(
+            iter_members(frozenset({A, B, C}), [frozenset({A})], limit=2)
+        )
+        assert len(members) == 2
+
+    def test_smallest_first(self):
+        members = list(
+            iter_members(frozenset({0, 1, 2, 3}), [frozenset({0})])
+        )
+        sizes = [len(m) for m in members]
+        assert sizes == sorted(sizes)
+
+    def test_invalid_lower_rejected(self):
+        with pytest.raises(ValueError, match="not within"):
+            count_members(frozenset({0}), [frozenset({5})])
+        with pytest.raises(ValueError, match="not within"):
+            list(iter_members(frozenset({0}), [frozenset({5})]))
+
+    def test_count_matches_enumeration(self):
+        ds = random_discretized_dataset(9, 8, density=0.5, seed=12)
+        result = mine_topk(ds, 1, minsup=1, k=3)
+        for group in result.unique_groups()[:5]:
+            bounds = find_lower_bounds(ds, group, nl=50)
+            lowers = [r.antecedent for r in bounds.rules]
+            if not bounds.complete or len(group.antecedent) > 10:
+                continue
+            enumerated = list(iter_members(group.antecedent, lowers))
+            assert len(enumerated) == count_members(group.antecedent, lowers)
+            for member in enumerated:
+                assert is_member(ds, group, member)
+
+
+class TestRuleChiSquare:
+    def test_perfect_association(self):
+        # 10 rows, 5 of class C, antecedent == class exactly.
+        assert rule_chi_square(10, 5, 5, 5) == pytest.approx(10.0)
+
+    def test_independence_is_zero(self):
+        # Antecedent hits half of each class.
+        assert rule_chi_square(20, 10, 10, 5) == pytest.approx(0.0)
+
+    def test_monotone_in_association(self):
+        weak = rule_chi_square(20, 10, 10, 6)
+        strong = rule_chi_square(20, 10, 10, 9)
+        assert strong > weak
+
+
+class TestFarmerChiSquareOption:
+    def test_filters_groups(self, small_random):
+        unfiltered = mine_farmer(small_random, 1, 1)
+        filtered = mine_farmer(small_random, 1, 1, min_chi_square=2.0)
+        assert len(filtered.groups) <= len(unfiltered.groups)
+        n = small_random.n_rows
+        class_rows = small_random.class_counts()[1]
+        for group in filtered.groups:
+            statistic = rule_chi_square(
+                n, class_rows, group.total_support, group.support
+            )
+            assert statistic >= 2.0
+
+    def test_zero_threshold_is_noop(self, small_random):
+        plain = {g.row_set for g in mine_farmer(small_random, 1, 1).groups}
+        with_zero = {
+            g.row_set
+            for g in mine_farmer(small_random, 1, 1, min_chi_square=0.0).groups
+        }
+        assert plain == with_zero
+
+    def test_negative_threshold_rejected(self, small_random):
+        with pytest.raises(ValueError, match="min_chi_square"):
+            mine_farmer(small_random, 1, 1, min_chi_square=-1.0)

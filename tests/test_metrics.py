@@ -1,0 +1,74 @@
+"""Tests for evaluation metrics."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    ClassificationReport,
+    accuracy,
+    confusion_matrix,
+    evaluate,
+)
+
+
+class TestAccuracy:
+    def test_all_correct(self):
+        assert accuracy([0, 1, 1], [0, 1, 1]) == 1.0
+
+    def test_half(self):
+        assert accuracy([0, 1], [0, 0]) == 0.5
+
+    def test_empty(self):
+        assert accuracy([], []) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="length"):
+            accuracy([0], [0, 1])
+
+
+class TestConfusion:
+    def test_matrix(self):
+        matrix = confusion_matrix([0, 0, 1, 1], [0, 1, 1, 1])
+        assert matrix == [[1, 1], [0, 2]]
+
+    def test_explicit_classes(self):
+        matrix = confusion_matrix([0], [0], n_classes=3)
+        assert len(matrix) == 3
+        assert matrix[0][0] == 1
+
+    def test_empty(self):
+        assert confusion_matrix([], []) == []
+
+
+class TestEvaluate:
+    def test_basic_report(self):
+        report = evaluate([0, 1, 1], [0, 1, 0])
+        assert report.accuracy == pytest.approx(2 / 3)
+        assert report.n_errors == 1
+        assert report.n_samples == 3
+
+    def test_decision_sources_counted(self):
+        report = evaluate(
+            [0, 1, 1, 0],
+            [0, 1, 0, 1],
+            decision_sources=["main", "standby", "default", "default"],
+        )
+        assert report.default_class_used == 2
+        assert report.default_class_errors == 2
+        assert report.standby_used == 1
+        assert report.standby_errors == 0
+
+    def test_sources_length_mismatch(self):
+        with pytest.raises(ValueError, match="decision_sources"):
+            evaluate([0], [0], decision_sources=["main", "main"])
+
+    def test_summary_mentions_default(self):
+        report = evaluate(
+            [0, 1], [0, 0], decision_sources=["main", "default"]
+        )
+        text = report.summary()
+        assert "default class" in text
+        assert "accuracy=50.00%" in text
+
+    def test_summary_plain(self):
+        report = ClassificationReport(1.0, 4, 0, [[4]])
+        assert "accuracy=100.00%" in report.summary()

@@ -1,0 +1,152 @@
+"""The paper's worked examples and lemmas, pinned as tests.
+
+Each test cites the paper construct it checks.  Example 1.1's claim for
+row r3 is knowingly *not* reproduced verbatim: see
+``test_topk_miner.TestFigure1`` — the example contradicts Definition 2.2
+(the rule group of {c} covers r3 with higher confidence than cde).
+"""
+
+import pytest
+
+from repro.baselines import mine_farmer
+from repro.classifiers import CBAClassifier
+from repro.core.bitset import from_indices, popcount
+from repro.core.lower_bounds import find_lower_bounds
+from repro.core.topk_miner import mine_topk
+from repro.data.synthetic import random_discretized_dataset
+
+A, B, C, D, E, F, G, H, O, P = range(10)
+
+
+class TestExample21:
+    """Example 2.1: R(I') and I(R')."""
+
+    def test_item_support_set(self, figure1):
+        assert figure1.support_set({C, D, E}) == from_indices([0, 2, 3])
+
+    def test_row_support_set(self, figure1):
+        assert figure1.common_items(from_indices([0, 2])) == {C, D, E}
+
+
+class TestExample22:
+    """Example 2.2: the rule group of {r1, r2} with upper bound abc."""
+
+    def test_all_members_share_support_set(self, figure1):
+        target = from_indices([0, 1])
+        for antecedent in ({A}, {B}, {A, B}, {A, C}, {B, C}, {A, B, C}):
+            assert figure1.support_set(antecedent) == target
+
+    def test_upper_bound_unique(self, figure1):
+        """Lemma 2.1: the upper bound is unique (= the closure)."""
+        assert figure1.common_items(from_indices([0, 1])) == {A, B, C}
+
+    def test_lower_bounds_are_a_and_b(self, figure1):
+        result = mine_topk(figure1, 1, minsup=2, k=1)
+        group = result.per_row[0][0]
+        bounds = find_lower_bounds(figure1, group, nl=5)
+        assert {tuple(sorted(r.antecedent)) for r in bounds.rules} == {
+            (A,), (B,),
+        }
+
+
+class TestLemma31:
+    """Lemma 3.1: I(X) -> C is the upper bound of the group with
+    antecedent support set R(I(X))."""
+
+    @pytest.mark.parametrize("rows", ([0, 1], [0, 2], [2, 3], [3, 4]))
+    def test_closure_is_upper_bound(self, figure1, rows):
+        bits = from_indices(rows)
+        items = figure1.common_items(bits)
+        if not items:
+            return
+        support = figure1.support_set(items)
+        closure = figure1.common_items(support)
+        assert closure == items  # I(R(I(X))) == I(X)
+
+
+class TestExample31:
+    """Example 3.1's concrete numbers for the top-1 discovery walk."""
+
+    def test_abc_group_stats(self, figure1):
+        result = mine_topk(figure1, 1, minsup=2, k=1)
+        group = result.per_row[0][0]
+        assert group.confidence == 1.0
+        assert group.support == 2
+
+    def test_cde_group_stats(self, figure1):
+        # The group found at node {1,3}: cde -> C, conf 66.7%, sup 2
+        # (it closes to rows {r1, r3, r4}).
+        farmer = mine_farmer(figure1, 1, minsup=2)
+        cde = next(
+            g for g in farmer.groups if g.antecedent == frozenset({C, D, E})
+        )
+        assert cde.support == 2
+        assert cde.confidence == pytest.approx(2 / 3)
+        assert cde.row_set == from_indices([0, 2, 3])
+
+
+class TestLemma22:
+    """Lemma 2.2: CBA's selected rules come from top-1 covering groups.
+
+    Checked structurally on random data: every rule CBA deploys must have
+    the statistics of the top-1 covering rule group of every training row
+    it correctly covers first.
+    """
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_selected_rules_are_top1_for_covered_rows(self, seed):
+        ds = random_discretized_dataset(10, 9, density=0.5, seed=seed)
+        model = CBAClassifier(minsup_fraction=0.3).fit(ds)
+        top1 = {}
+        for class_id in range(ds.n_classes):
+            from repro.core.topk_miner import relative_minsup
+
+            minsup = relative_minsup(ds, class_id, 0.3)
+            for row, groups in mine_topk(
+                ds, class_id, minsup, k=1
+            ).per_row.items():
+                if groups:
+                    top1[(row, class_id)] = (
+                        groups[0].confidence,
+                        groups[0].support,
+                    )
+        for rule in model.rules_:
+            row_set = ds.support_set(rule.antecedent)
+            covered_same_class = [
+                row
+                for row in range(ds.n_rows)
+                if row_set >> row & 1 and ds.labels[row] == rule.consequent
+            ]
+            assert covered_same_class
+            # The rule's stats equal some covered row's top-1 stats —
+            # CBA never deploys a rule that is not top-1 anywhere.
+            stats = (rule.confidence, rule.support)
+            assert any(
+                top1.get((row, rule.consequent)) == stats
+                for row in covered_same_class
+            )
+
+
+class TestBoundedOutput:
+    """Introduction claim: |TopkRGS| <= k x number of rows."""
+
+    @pytest.mark.parametrize("k", (1, 2, 5))
+    def test_output_bounded(self, k, small_random):
+        result = mine_topk(small_random, 1, minsup=1, k=k)
+        n_class_rows = small_random.class_counts()[1]
+        assert len(result.unique_groups()) <= k * n_class_rows
+
+    def test_every_coverable_row_covered(self, small_random):
+        """TopkRGS covers every row that any >=minsup group covers."""
+        result = mine_topk(small_random, 1, minsup=1, k=1)
+        farmer = mine_farmer(small_random, 1, minsup=1)
+        coverable = set()
+        class_mask = small_random.class_mask(1)
+        for group in farmer.groups:
+            for row in range(small_random.n_rows):
+                if group.row_set >> row & 1 and class_mask >> row & 1:
+                    coverable.add(row)
+        covered = {
+            row for row, groups in result.per_row.items() if groups
+        }
+        assert covered == coverable

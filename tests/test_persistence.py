@@ -1,0 +1,81 @@
+"""Tests for classifier serialization."""
+
+import json
+
+import pytest
+
+from repro.classifiers import CBAClassifier, RCBTClassifier
+from repro.classifiers.persistence import load_classifier, save_classifier
+from repro.errors import NotFittedError
+
+
+class TestRoundtrip:
+    def test_cba_roundtrip(self, small_benchmark, tmp_path):
+        model = CBAClassifier().fit(small_benchmark.train_items)
+        path = tmp_path / "cba.json"
+        save_classifier(model, path)
+        loaded = load_classifier(path)
+        assert isinstance(loaded, CBAClassifier)
+        assert loaded.predict(small_benchmark.test_items) == model.predict(
+            small_benchmark.test_items
+        )
+        assert loaded.default_class_ == model.default_class_
+
+    def test_rcbt_roundtrip(self, small_benchmark, tmp_path):
+        model = RCBTClassifier(k=3, nl=4).fit(small_benchmark.train_items)
+        path = tmp_path / "rcbt.json"
+        save_classifier(model, path)
+        loaded = load_classifier(path)
+        assert isinstance(loaded, RCBTClassifier)
+        preds, sources = model.predict_with_sources(
+            small_benchmark.test_items
+        )
+        loaded_preds, loaded_sources = loaded.predict_with_sources(
+            small_benchmark.test_items
+        )
+        assert loaded_preds == preds
+        assert loaded_sources == sources
+        assert loaded.n_levels_ == model.n_levels_
+
+    def test_rcbt_first_match_mode_preserved(self, small_benchmark, tmp_path):
+        model = RCBTClassifier(k=2, nl=2, use_voting=False).fit(
+            small_benchmark.train_items
+        )
+        path = tmp_path / "rcbt_fm.json"
+        save_classifier(model, path)
+        assert load_classifier(path).use_voting is False
+
+
+class TestErrors:
+    def test_unfitted_rejected(self, tmp_path):
+        with pytest.raises(NotFittedError):
+            save_classifier(CBAClassifier(), tmp_path / "x.json")
+
+    def test_unsupported_type_rejected(self, small_benchmark, tmp_path):
+        from repro.classifiers import IRGClassifier
+
+        model = IRGClassifier().fit(small_benchmark.train_items)
+        with pytest.raises(TypeError, match="IRGClassifier"):
+            save_classifier(model, tmp_path / "x.json")
+
+    def test_bad_format_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": 99, "kind": "cba"}))
+        with pytest.raises(ValueError, match="format"):
+            load_classifier(path)
+
+    def test_unknown_kind(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": 1, "kind": "mystery"}))
+        with pytest.raises(ValueError, match="kind"):
+            load_classifier(path)
+
+    def test_file_is_human_auditable(self, small_benchmark, tmp_path):
+        model = CBAClassifier().fit(small_benchmark.train_items)
+        path = tmp_path / "cba.json"
+        save_classifier(model, path)
+        payload = json.loads(path.read_text())
+        assert payload["kind"] == "cba"
+        for rule in payload["rules"]:
+            assert set(rule) == {"antecedent", "consequent", "support",
+                                 "confidence"}

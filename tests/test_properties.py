@@ -1,0 +1,118 @@
+"""Property-based tests of the Galois connection and miner invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitset import from_indices, is_subset, popcount
+from repro.core.topk_miner import mine_topk
+from repro.data.dataset import DiscretizedDataset, Item
+
+
+@st.composite
+def datasets(draw):
+    n_rows = draw(st.integers(3, 10))
+    n_items = draw(st.integers(3, 9))
+    rows = [
+        frozenset(
+            draw(st.sets(st.integers(0, n_items - 1), min_size=1,
+                         max_size=n_items))
+        )
+        for _ in range(n_rows)
+    ]
+    labels = draw(
+        st.lists(st.integers(0, 1), min_size=n_rows, max_size=n_rows).filter(
+            lambda ls: 0 in ls and 1 in ls
+        )
+    )
+    items = [
+        Item(i, i, f"g{i}", float("-inf"), float("inf"))
+        for i in range(n_items)
+    ]
+    return DiscretizedDataset(rows, labels, items)
+
+
+@st.composite
+def dataset_and_itemset(draw):
+    ds = draw(datasets())
+    itemset = draw(
+        st.sets(st.integers(0, ds.n_items - 1), min_size=1, max_size=4)
+    )
+    return ds, frozenset(itemset)
+
+
+@st.composite
+def dataset_and_rowset(draw):
+    ds = draw(datasets())
+    rows = draw(
+        st.sets(st.integers(0, ds.n_rows - 1), min_size=1, max_size=4)
+    )
+    return ds, from_indices(rows)
+
+
+class TestGaloisConnection:
+    @given(dataset_and_itemset())
+    @settings(max_examples=80, deadline=None)
+    def test_extensive_on_items(self, payload):
+        """A ⊆ I(R(A))."""
+        ds, itemset = payload
+        assert itemset <= ds.common_items(ds.support_set(itemset)) or not \
+            ds.support_set(itemset)
+
+    @given(dataset_and_rowset())
+    @settings(max_examples=80, deadline=None)
+    def test_extensive_on_rows(self, payload):
+        """X ⊆ R(I(X)) (when I(X) is non-empty)."""
+        ds, row_bits = payload
+        items = ds.common_items(row_bits)
+        if items:
+            assert is_subset(row_bits, ds.support_set(items))
+
+    @given(dataset_and_itemset())
+    @settings(max_examples=80, deadline=None)
+    def test_closure_idempotent(self, payload):
+        """I(R(I(R(A)))) == I(R(A))."""
+        ds, itemset = payload
+        rows = ds.support_set(itemset)
+        closed = ds.common_items(rows)
+        if closed:
+            assert ds.common_items(ds.support_set(closed)) == closed
+
+    @given(dataset_and_itemset())
+    @settings(max_examples=80, deadline=None)
+    def test_antitone(self, payload):
+        """Adding items can only shrink the support set."""
+        ds, itemset = payload
+        rows_all = ds.support_set(itemset)
+        for item in itemset:
+            rows_smaller = ds.support_set(itemset - {item})
+            assert is_subset(rows_all, rows_smaller)
+
+
+class TestMinerInvariants:
+    @given(datasets(), st.integers(1, 3))
+    @settings(max_examples=50, deadline=None)
+    def test_topk_lists_sorted_and_bounded(self, ds, k):
+        result = mine_topk(ds, 1, minsup=1, k=k)
+        for groups in result.per_row.values():
+            assert len(groups) <= k
+            stats = [(g.confidence, g.support) for g in groups]
+            assert stats == sorted(stats, reverse=True)
+
+    @given(datasets())
+    @settings(max_examples=50, deadline=None)
+    def test_topk_groups_cover_their_row(self, ds):
+        result = mine_topk(ds, 1, minsup=1, k=2)
+        for row, groups in result.per_row.items():
+            for group in groups:
+                assert group.row_set >> row & 1
+                assert group.antecedent <= ds.rows[row]
+
+    @given(datasets(), st.integers(1, 3))
+    @settings(max_examples=50, deadline=None)
+    def test_support_counts_exact(self, ds, minsup):
+        result = mine_topk(ds, 1, minsup=minsup, k=2)
+        mask = ds.class_mask(1)
+        for groups in result.per_row.values():
+            for group in groups:
+                assert group.support == popcount(group.row_set & mask)
+                assert group.support >= minsup

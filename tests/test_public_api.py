@@ -1,0 +1,60 @@
+"""The package's public surface: imports, exports, version, cache config."""
+
+import importlib
+
+import pytest
+
+
+class TestTopLevel:
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.core",
+            "repro.data",
+            "repro.baselines",
+            "repro.classifiers",
+            "repro.analysis",
+            "repro.experiments",
+            "repro.cli",
+        ],
+    )
+    def test_subpackage_all_exports_resolve(self, module):
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{module}.{name}"
+
+    def test_headline_workflow_symbols(self):
+        # The symbols the README quickstart uses must stay importable.
+        from repro import (  # noqa: F401
+            find_lower_bounds,
+            generate_paper_dataset,
+            load_benchmark,
+            make_figure1_example,
+            mine_topk,
+            relative_minsup,
+        )
+
+
+class TestCacheDirOverride:
+    def test_env_override(self, monkeypatch, tmp_path):
+        from repro.data.loaders import default_cache_dir
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+        assert default_cache_dir() == tmp_path / "custom"
+
+    def test_default_under_home(self, monkeypatch):
+        from repro.data.loaders import default_cache_dir
+
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert "repro-topkrgs" in str(default_cache_dir())

@@ -1,0 +1,120 @@
+"""Tests for the RCBT classifier."""
+
+import pytest
+
+from repro.classifiers import CBAClassifier, RCBTClassifier
+from repro.data.synthetic import random_discretized_dataset
+from repro.errors import NotFittedError
+
+
+class TestConstruction:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            RCBTClassifier(k=0)
+        with pytest.raises(ValueError):
+            RCBTClassifier(nl=0)
+
+    def test_builds_levels(self, small_benchmark):
+        model = RCBTClassifier(k=3, nl=4).fit(small_benchmark.train_items)
+        assert 1 <= model.n_levels_ <= 3
+
+    def test_each_level_has_nl_bounded_rules(self, small_benchmark):
+        nl = 3
+        model = RCBTClassifier(k=2, nl=nl).fit(small_benchmark.train_items)
+        for level in model.levels_:
+            # Each selected group contributes at most nl lower bounds.
+            by_stats = {}
+            for rule in level.rules:
+                key = (rule.consequent, rule.support, rule.confidence)
+                by_stats[key] = by_stats.get(key, 0) + 1
+            assert all(count <= nl * 4 for count in by_stats.values())
+
+    def test_score_norms_cover_classes(self, small_benchmark):
+        model = RCBTClassifier(k=2, nl=4).fit(small_benchmark.train_items)
+        level = model.levels_[0]
+        assert len(level.score_norms) == small_benchmark.train_items.n_classes
+        assert sum(level.score_norms) > 0
+
+    def test_rule_scores_in_unit_interval(self, small_benchmark):
+        model = RCBTClassifier(k=2, nl=4).fit(small_benchmark.train_items)
+        for scores in model._level_scores:
+            assert all(0.0 <= s <= 1.0 for s in scores.values())
+
+
+class TestPrediction:
+    def test_not_fitted(self, figure1):
+        with pytest.raises(NotFittedError):
+            RCBTClassifier().predict_with_sources(figure1)
+
+    def test_accuracy_on_benchmark(self, small_benchmark):
+        model = RCBTClassifier(k=5, nl=5).fit(small_benchmark.train_items)
+        assert model.score(small_benchmark.test_items) >= 0.8
+
+    def test_sources_vocabulary(self, small_benchmark):
+        model = RCBTClassifier(k=5, nl=5).fit(small_benchmark.train_items)
+        _preds, sources = model.predict_with_sources(
+            small_benchmark.test_items
+        )
+        assert set(sources) <= {"main", "standby", "default"}
+
+    def test_empty_row_uses_default(self, small_benchmark):
+        model = RCBTClassifier(k=2, nl=2).fit(small_benchmark.train_items)
+        label, source = model.predict_row(frozenset())
+        assert source == "default"
+        assert label == model.default_class_
+
+    def test_deterministic(self, small_benchmark):
+        a = RCBTClassifier(k=3, nl=3).fit(small_benchmark.train_items)
+        b = RCBTClassifier(k=3, nl=3).fit(small_benchmark.train_items)
+        assert a.predict(small_benchmark.test_items) == b.predict(
+            small_benchmark.test_items
+        )
+
+    def test_first_match_mode(self, small_benchmark):
+        voting = RCBTClassifier(k=3, nl=3, use_voting=True).fit(
+            small_benchmark.train_items
+        )
+        first = RCBTClassifier(k=3, nl=3, use_voting=False).fit(
+            small_benchmark.train_items
+        )
+        # Both modes must be sane classifiers.
+        assert first.score(small_benchmark.train_items) >= 0.8
+        assert voting.score(small_benchmark.train_items) >= 0.8
+
+
+class TestAgainstCBA:
+    def test_fewer_defaults_than_cba(self, small_benchmark):
+        """The Section 6.2 claim: RCBT rarely falls back to the default."""
+        train, test = small_benchmark.train_items, small_benchmark.test_items
+        rcbt = RCBTClassifier(k=5, nl=10).fit(train)
+        cba = CBAClassifier().fit(train)
+        _p, rcbt_sources = rcbt.predict_with_sources(test)
+        _p, cba_sources = cba.predict_with_sources(test)
+        assert rcbt_sources.count("default") <= cba_sources.count("default")
+
+    def test_matches_or_beats_cba_on_shifted_data(self, pc_benchmark):
+        train, test = pc_benchmark.train_items, pc_benchmark.test_items
+        rcbt = RCBTClassifier(k=5, nl=10).fit(train)
+        cba = CBAClassifier().fit(train)
+        assert rcbt.score(test) >= cba.score(test)
+
+
+class TestStandby:
+    def test_standby_levels_consulted_in_order(self, small_benchmark):
+        model = RCBTClassifier(k=3, nl=3).fit(small_benchmark.train_items)
+        if model.n_levels_ >= 2:
+            # A row matching only level-2 rules must be labelled standby.
+            level2_rule = model.levels_[1].rules[0]
+            level1 = model.levels_[0]
+            row = frozenset(level2_rule.antecedent)
+            if not any(r.antecedent <= row for r in level1.rules):
+                label, source = model.predict_row(row)
+                assert source == "standby"
+
+    def test_k1_has_single_level(self, small_benchmark):
+        model = RCBTClassifier(k=1, nl=3).fit(small_benchmark.train_items)
+        assert model.n_levels_ == 1
+        _preds, sources = model.predict_with_sources(
+            small_benchmark.test_items
+        )
+        assert "standby" not in sources

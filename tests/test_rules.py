@@ -1,0 +1,150 @@
+"""Tests for rules, rule groups and the top-k list semantics."""
+
+import pytest
+
+from repro.core.bitset import from_indices
+from repro.core.rules import (
+    Rule,
+    RuleGroup,
+    TopKList,
+    cba_sort_key,
+    more_significant,
+    significance_key,
+)
+
+
+def group(conf, sup, rows, antecedent=(0,), consequent=1):
+    return RuleGroup(
+        antecedent=frozenset(antecedent),
+        consequent=consequent,
+        row_set=from_indices(rows),
+        support=sup,
+        confidence=conf,
+    )
+
+
+class TestRule:
+    def test_matches(self):
+        rule = Rule(frozenset({1, 2}), 0, 3, 0.9)
+        assert rule.matches(frozenset({1, 2, 5}))
+        assert not rule.matches(frozenset({1, 5}))
+
+    def test_len(self):
+        assert len(Rule(frozenset({1, 2, 3}), 0, 1, 1.0)) == 3
+
+    def test_describe_names_items(self):
+        rule = Rule(frozenset({2, 1}), 0, 3, 0.5)
+        text = rule.describe(lambda i: f"g{i}")
+        assert "g1, g2" in text
+        assert "sup=3" in text
+
+
+class TestRuleGroup:
+    def test_from_row_set_computes_stats(self):
+        class_mask = from_indices([0, 1, 2])
+        g = RuleGroup.from_row_set([7], 1, from_indices([0, 1, 4]), class_mask)
+        assert g.support == 2
+        assert g.total_support == 3
+        assert g.confidence == pytest.approx(2 / 3)
+
+    def test_covered_rows(self):
+        g = group(1.0, 2, [0, 3, 5])
+        assert g.covered_rows(from_indices([0, 5, 7])) == [0, 5]
+
+    def test_upper_bound_rule_carries_stats(self):
+        g = group(0.8, 4, [0, 1, 2, 3, 4])
+        rule = g.upper_bound_rule()
+        assert rule.support == 4
+        assert rule.confidence == 0.8
+        assert rule.antecedent == g.antecedent
+
+
+class TestSignificance:
+    def test_confidence_dominates(self):
+        assert more_significant(group(0.9, 1, [0]), group(0.8, 100, [0]))
+
+    def test_support_breaks_confidence_ties(self):
+        assert more_significant(group(0.9, 5, [0]), group(0.9, 4, [0]))
+
+    def test_equal_groups_not_more_significant(self):
+        a, b = group(0.9, 5, [0]), group(0.9, 5, [1])
+        assert not more_significant(a, b)
+        assert not more_significant(b, a)
+
+    def test_significance_key_orders(self):
+        groups = [group(0.5, 9, [0]), group(0.9, 1, [1]), group(0.9, 3, [2])]
+        ordered = sorted(groups, key=significance_key, reverse=True)
+        assert [g.confidence for g in ordered] == [0.9, 0.9, 0.5]
+        assert ordered[0].support == 3
+
+
+class TestCbaSortKey:
+    def test_orders_by_conf_sup_length_discovery(self):
+        r1 = Rule(frozenset({1}), 0, 5, 0.9)
+        r2 = Rule(frozenset({1, 2}), 0, 5, 0.9)
+        r3 = Rule(frozenset({3}), 0, 5, 0.8)
+        rules = [(r3, 0), (r2, 1), (r1, 2)]
+        ordered = sorted(rules, key=lambda p: cba_sort_key(p[0], p[1]))
+        assert ordered[0][0] is r1  # shorter wins the tie
+        assert ordered[1][0] is r2
+        assert ordered[2][0] is r3
+
+    def test_discovery_order_is_final_tiebreak(self):
+        r1 = Rule(frozenset({1}), 0, 5, 0.9)
+        r2 = Rule(frozenset({2}), 0, 5, 0.9)
+        assert cba_sort_key(r1, 0) < cba_sort_key(r2, 1)
+
+
+class TestTopKList:
+    def test_keeps_k_most_significant(self):
+        topk = TopKList(2)
+        topk.offer(group(0.5, 2, [0], (1,)))
+        topk.offer(group(0.9, 2, [1], (2,)))
+        topk.offer(group(0.7, 2, [2], (3,)))
+        assert [g.confidence for g in topk] == [0.9, 0.7]
+
+    def test_kth_threshold_underfull_is_zero(self):
+        topk = TopKList(3)
+        topk.offer(group(0.9, 5, [0]))
+        assert topk.kth_threshold() == (0.0, 0)
+
+    def test_kth_threshold_full(self):
+        topk = TopKList(1)
+        topk.offer(group(0.9, 5, [0]))
+        assert topk.kth_threshold() == (0.9, 5)
+
+    def test_ties_do_not_replace(self):
+        topk = TopKList(1)
+        first = group(0.9, 5, [0], (1,))
+        topk.offer(first)
+        assert not topk.offer(group(0.9, 5, [1], (2,)))
+        assert topk[0] is first
+
+    def test_same_row_set_upgrades_antecedent(self):
+        topk = TopKList(1)
+        topk.offer(group(0.9, 5, [0, 1], (1,)))
+        upgraded = group(0.9, 5, [0, 1], (1, 2, 3))
+        assert topk.offer(upgraded)
+        assert topk[0].antecedent == frozenset({1, 2, 3})
+        assert len(topk) == 1
+
+    def test_same_row_set_never_duplicates(self):
+        topk = TopKList(3)
+        topk.offer(group(0.9, 5, [0, 1], (1, 2)))
+        assert not topk.offer(group(0.9, 5, [0, 1], (7,)))
+        assert len(topk) == 1
+
+    def test_would_accept_strictness(self):
+        topk = TopKList(1)
+        topk.offer(group(0.9, 5, [0]))
+        assert not topk.would_accept(0.9, 5)
+        assert topk.would_accept(0.9, 6)
+        assert topk.would_accept(0.95, 1)
+        assert not topk.would_accept(0.8, 100)
+
+    def test_iteration_order_is_significance(self):
+        topk = TopKList(3)
+        for conf, sup, row in ((0.5, 1, 0), (0.9, 9, 1), (0.9, 2, 2)):
+            topk.offer(group(conf, sup, [row]))
+        stats = [(g.confidence, g.support) for g in topk]
+        assert stats == [(0.9, 9), (0.9, 2), (0.5, 1)]

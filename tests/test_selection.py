@@ -1,0 +1,145 @@
+"""Tests for the CBA rule/group selection machinery."""
+
+import pytest
+
+from repro.classifiers.selection import (
+    cba_select,
+    cba_select_groups,
+    majority_class,
+)
+from repro.core.bitset import from_indices
+from repro.core.rules import Rule, RuleGroup
+from repro.data.dataset import DiscretizedDataset, Item
+
+
+def dataset(rows, labels):
+    n_items = max((max(row) for row in rows if row), default=-1) + 1
+    items = [
+        Item(i, i, f"g{i}", float("-inf"), float("inf"))
+        for i in range(n_items)
+    ]
+    return DiscretizedDataset(
+        rows, labels, items, class_names=["c0", "c1"]
+    )
+
+
+def rule(items, consequent, sup, conf):
+    return Rule(frozenset(items), consequent, sup, conf)
+
+
+class TestMajorityClass:
+    def test_majority(self):
+        assert majority_class([0, 1, 1], 2) == 1
+
+    def test_tie_prefers_smaller_id(self):
+        assert majority_class([0, 1], 2) == 0
+
+    def test_empty_defaults_to_zero(self):
+        assert majority_class([], 2) == 0
+
+
+class TestCbaSelect:
+    def test_perfect_rule_selected(self):
+        ds = dataset([{0}, {0}, {1}, {1}], [1, 1, 0, 0])
+        rules = [rule({0}, 1, 2, 1.0), rule({1}, 0, 2, 1.0)]
+        selected = cba_select(rules, ds)
+        assert len(selected.rules) >= 1
+        assert selected.training_errors == 0
+
+    def test_rule_without_correct_cover_skipped(self):
+        # Rule for class 1 matching only class-0 rows must not be kept.
+        ds = dataset([{0}, {0}], [0, 0])
+        rules = [rule({0}, 1, 1, 0.5)]
+        selected = cba_select(rules, ds)
+        assert selected.rules == []
+        assert selected.default_class == 0
+
+    def test_higher_confidence_wins_order(self):
+        ds = dataset([{0, 1}, {0, 1}, {2}], [1, 1, 0])
+        strong = rule({0}, 1, 2, 1.0)
+        weak = rule({1}, 1, 2, 0.6)
+        selected = cba_select([weak, strong], ds)
+        assert selected.rules[0] is strong
+
+    def test_covered_rows_removed(self):
+        # After the first rule covers both class-1 rows, the second
+        # class-1 rule covers nothing new and is dropped.
+        ds = dataset([{0, 1}, {0, 1}, {2}], [1, 1, 0])
+        first = rule({0}, 1, 2, 1.0)
+        second = rule({1}, 1, 2, 0.9)
+        selected = cba_select([first, second], ds)
+        assert second not in selected.rules
+
+    def test_default_class_is_majority_of_remaining(self):
+        ds = dataset([{0}, {1}, {1}], [1, 0, 0])
+        selected = cba_select([rule({0}, 1, 1, 1.0)], ds)
+        assert selected.default_class == 0
+
+    def test_error_cut_truncates_harmful_tail(self):
+        # A low-confidence rule that misclassifies more than the default
+        # would must be cut by step 4.
+        ds = dataset(
+            [{0}, {0}, {1, 2}, {1}, {1}, {1}],
+            [1, 1, 1, 0, 0, 0],
+        )
+        good = rule({0}, 1, 2, 1.0)
+        bad = rule({1}, 1, 1, 0.25)  # covers rows 2..5, 3 errors
+        selected = cba_select([good, bad], ds)
+        assert bad not in selected.rules
+
+    def test_empty_rules(self):
+        ds = dataset([{0}, {1}], [0, 1])
+        selected = cba_select([], ds)
+        assert selected.rules == []
+        assert selected.default_class in (0, 1)
+
+    def test_first_match_helper(self):
+        ds = dataset([{0}, {1}], [1, 0])
+        r = rule({0}, 1, 1, 1.0)
+        selected = cba_select([r], ds)
+        assert selected.first_match(frozenset({0, 5})) is r
+        assert selected.first_match(frozenset({5})) is None
+
+
+def group(items, consequent, rows, sup, conf):
+    return RuleGroup(frozenset(items), consequent, from_indices(rows), sup, conf)
+
+
+class TestCbaSelectGroups:
+    def test_coverage_only_keeps_both_classes(self):
+        ds = dataset([{0}, {0}, {1}, {1}], [1, 1, 0, 0])
+        groups = [
+            group({0}, 1, [0, 1], 2, 1.0),
+            group({1}, 0, [2, 3], 2, 1.0),
+        ]
+        selected = cba_select_groups(groups, ds)
+        assert len(selected.groups) == 2
+
+    def test_error_cut_mode_truncates(self):
+        ds = dataset([{0}, {0}, {1}, {1}], [1, 1, 0, 0])
+        groups = [
+            group({0}, 1, [0, 1], 2, 1.0),
+            group({1}, 0, [2, 3], 2, 1.0),
+        ]
+        selected = cba_select_groups(groups, ds, error_cut=True)
+        # After the first group, default class 0 makes zero errors, so
+        # the cut keeps only the first group.
+        assert len(selected.groups) == 1
+
+    def test_group_without_correct_cover_skipped(self):
+        ds = dataset([{0}, {1}], [0, 1])
+        junk = group({0}, 1, [0], 0, 0.0)
+        selected = cba_select_groups([junk], ds)
+        assert selected.groups == []
+
+    def test_significance_order(self):
+        ds = dataset([{0, 1}, {0, 1}, {2}], [1, 1, 0])
+        weak = group({1}, 1, [0, 1], 2, 0.5)
+        strong = group({0}, 1, [0, 1], 2, 1.0)
+        selected = cba_select_groups([weak, strong], ds)
+        assert selected.groups[0] is strong
+
+    def test_default_class_after_full_coverage(self):
+        ds = dataset([{0}, {0}, {1}], [1, 1, 1])
+        selected = cba_select_groups([group({0}, 1, [0, 1, 2], 3, 1.0)], ds)
+        assert selected.default_class == 1

@@ -1,0 +1,64 @@
+"""Tests for rule/rule-group descriptive statistics."""
+
+from repro.analysis.significance import (
+    coverage_summary,
+    gene_usage,
+    summarize_groups,
+)
+from repro.core.bitset import from_indices
+from repro.core.rules import Rule, RuleGroup
+from repro.data.dataset import DiscretizedDataset, Item
+
+
+def group(conf, sup, antecedent):
+    return RuleGroup(frozenset(antecedent), 1, from_indices(range(sup)), sup, conf)
+
+
+class TestSummarizeGroups:
+    def test_empty(self):
+        summary = summarize_groups([])
+        assert summary.n_groups == 0
+        assert summary.describe() == "no rule groups"
+
+    def test_statistics(self):
+        groups = [group(1.0, 3, (1, 2)), group(0.5, 5, (1, 2, 3, 4))]
+        summary = summarize_groups(groups)
+        assert summary.n_groups == 2
+        assert summary.min_support == 3
+        assert summary.max_support == 5
+        assert summary.min_confidence == 0.5
+        assert summary.max_confidence == 1.0
+        assert summary.mean_antecedent_length == 3.0
+
+    def test_describe(self):
+        text = summarize_groups([group(1.0, 3, (1,))]).describe()
+        assert "1 groups" in text
+
+
+class TestCoverageSummary:
+    def test_empty(self):
+        assert coverage_summary({})["coverage"] == 0.0
+
+    def test_partial_coverage(self):
+        per_row = {0: [group(1.0, 2, (1,))], 1: [], 2: [group(0.5, 2, (2,))]}
+        summary = coverage_summary(per_row)
+        assert summary["rows"] == 3
+        assert summary["covered"] == 2
+        assert summary["coverage"] == 2 / 3
+
+
+class TestGeneUsage:
+    def test_counts_genes_once_per_rule(self):
+        items = [
+            Item(0, 0, "g0", float("-inf"), 0.0),
+            Item(1, 0, "g0", 0.0, float("inf")),
+            Item(2, 1, "g1", float("-inf"), float("inf")),
+        ]
+        ds = DiscretizedDataset([{0, 2}], [0], items, class_names=["a"])
+        rules = [
+            Rule(frozenset({0, 1}), 0, 1, 1.0),  # two items, one gene
+            Rule(frozenset({2}), 0, 1, 1.0),
+            Rule(frozenset({0, 2}), 0, 1, 1.0),
+        ]
+        usage = gene_usage(ds, rules)
+        assert usage == {0: 2, 1: 2}

@@ -1,0 +1,92 @@
+"""Tests for the SMO-based SVM."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers import SVMClassifier
+from repro.errors import NotFittedError
+
+
+def linear_data(n=60, seed=0, margin=1.0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 4))
+    y = (X[:, 0] + X[:, 1] > 0).astype(int)
+    X[y == 1, 0] += margin
+    X[y == 0, 0] -= margin
+    return X, y
+
+
+def circular_data(n=80, seed=1):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 2))
+    radius = (X**2).sum(axis=1)
+    y = (radius > np.median(radius)).astype(int)
+    return X, y
+
+
+class TestLinearKernel:
+    def test_separable_data_perfect(self):
+        X, y = linear_data()
+        model = SVMClassifier(kernel="linear").fit(X, y)
+        assert model.score(X, y) >= 0.98
+
+    def test_generalizes(self):
+        X, y = linear_data(seed=0)
+        X2, y2 = linear_data(seed=7)
+        model = SVMClassifier(kernel="linear").fit(X, y)
+        assert model.score(X2, y2) >= 0.9
+
+    def test_decision_function_sign_matches_predict(self):
+        X, y = linear_data()
+        model = SVMClassifier(kernel="linear").fit(X, y)
+        scores = model.decision_function(X)
+        assert np.array_equal(model.predict(X), (scores >= 0).astype(int))
+
+    def test_support_vectors_subset(self):
+        X, y = linear_data()
+        model = SVMClassifier(kernel="linear").fit(X, y)
+        assert 0 < model.n_support_ <= len(y)
+
+
+class TestPolyKernel:
+    def test_circular_data_needs_poly(self):
+        X, y = circular_data()
+        linear = SVMClassifier(kernel="linear").fit(X, y)
+        poly = SVMClassifier(kernel="poly", degree=2).fit(X, y)
+        assert poly.score(X, y) > linear.score(X, y)
+        assert poly.score(X, y) >= 0.9
+
+
+class TestInterface:
+    def test_unknown_kernel(self):
+        with pytest.raises(ValueError, match="kernel"):
+            SVMClassifier(kernel="rbf")
+
+    def test_binary_labels_required(self):
+        X = np.zeros((3, 2))
+        with pytest.raises(ValueError, match="binary"):
+            SVMClassifier().fit(X, [0, 1, 2])
+        with pytest.raises(ValueError, match="binary"):
+            SVMClassifier().fit(X, [0, 0, 0])
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            SVMClassifier().predict(np.zeros((1, 2)))
+
+    def test_standardization_copes_with_scales(self):
+        X, y = linear_data()
+        X_scaled = X * np.array([1e4, 1e-4, 1.0, 1.0])
+        model = SVMClassifier(kernel="linear").fit(X_scaled, y)
+        assert model.score(X_scaled, y) >= 0.95
+
+    def test_constant_feature_no_crash(self):
+        X, y = linear_data()
+        X[:, 3] = 5.0
+        model = SVMClassifier(kernel="linear").fit(X, y)
+        assert model.score(X, y) >= 0.9
+
+    def test_deterministic(self):
+        X, y = linear_data()
+        a = SVMClassifier(seed=2).fit(X, y).predict(X)
+        b = SVMClassifier(seed=2).fit(X, y).predict(X)
+        assert np.array_equal(a, b)

@@ -1,0 +1,172 @@
+"""Tests for the synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    ALL_AML,
+    PAPER_DATASETS,
+    PROSTATE_CANCER,
+    DatasetSpec,
+    generate_dataset,
+    generate_paper_dataset,
+    make_figure1_example,
+    random_discretized_dataset,
+)
+
+
+class TestSpecs:
+    def test_registry_has_four_datasets(self):
+        assert set(PAPER_DATASETS) == {"ALL", "LC", "OC", "PC"}
+
+    def test_table1_shapes(self):
+        spec = PAPER_DATASETS["ALL"]
+        assert spec.n_genes == 7129
+        assert spec.n_train == 38
+        assert spec.n_test == 34
+        assert spec.train_per_class == (11, 27)
+
+    def test_oc_shapes(self):
+        spec = PAPER_DATASETS["OC"]
+        assert spec.n_genes == 15154
+        assert spec.n_train == 210
+        assert spec.n_test == 43
+
+    def test_scaled_preserves_samples(self):
+        scaled = ALL_AML.scaled(0.1)
+        assert scaled.n_train == ALL_AML.n_train
+        assert scaled.n_test == ALL_AML.n_test
+        assert scaled.n_genes < ALL_AML.n_genes
+
+    def test_scaled_invalid(self):
+        with pytest.raises(ValueError):
+            ALL_AML.scaled(0.0)
+        with pytest.raises(ValueError):
+            ALL_AML.scaled(1.5)
+
+    def test_only_pc_has_shift(self):
+        assert PROSTATE_CANCER.test_shift > 0
+        assert ALL_AML.test_shift == 0
+
+
+class TestGeneration:
+    def test_shapes_match_spec(self):
+        spec = ALL_AML.scaled(0.05)
+        train, test = generate_dataset(spec)
+        assert train.values.shape == (spec.n_train, spec.n_genes)
+        assert test.values.shape == (spec.n_test, spec.n_genes)
+
+    def test_class_split(self):
+        spec = ALL_AML.scaled(0.05)
+        train, test = generate_dataset(spec)
+        assert train.class_counts() == list(spec.train_per_class)
+        assert test.class_counts() == list(spec.test_per_class)
+
+    def test_deterministic(self):
+        spec = ALL_AML.scaled(0.05)
+        a_train, a_test = generate_dataset(spec)
+        b_train, b_test = generate_dataset(spec)
+        assert np.array_equal(a_train.values, b_train.values)
+        assert np.array_equal(a_test.values, b_test.values)
+
+    def test_different_seeds_differ(self):
+        import dataclasses
+
+        spec = ALL_AML.scaled(0.05)
+        other = dataclasses.replace(spec, seed=spec.seed + 1)
+        a, _ = generate_dataset(spec)
+        b, _ = generate_dataset(other)
+        assert not np.array_equal(a.values, b.values)
+
+    def test_informative_genes_separate_classes(self):
+        spec = ALL_AML.scaled(0.05)
+        train, _ = generate_dataset(spec)
+        class1 = train.labels == 1
+        separation = np.abs(
+            train.values[class1].mean(axis=0)
+            - train.values[~class1].mean(axis=0)
+        )
+        # Some genes must separate strongly, most must not.
+        assert (separation > 1.5).sum() >= 5
+        assert (separation < 0.5).sum() > spec.n_genes / 3
+
+    def test_generate_paper_dataset_by_name(self):
+        train, test = generate_paper_dataset("ALL", scale=0.05)
+        assert train.n_samples == 38
+        assert test.n_samples == 34
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            generate_paper_dataset("XX")
+
+    def test_pc_shift_moves_test_values(self):
+        import dataclasses
+
+        spec = PROSTATE_CANCER.scaled(0.05)
+        unshifted = dataclasses.replace(spec, test_shift=0.0)
+        _, shifted_test = generate_dataset(spec)
+        _, plain_test = generate_dataset(unshifted)
+        assert not np.array_equal(shifted_test.values, plain_test.values)
+
+    def test_pc_shift_leaves_train_alone(self):
+        import dataclasses
+
+        spec = PROSTATE_CANCER.scaled(0.05)
+        unshifted = dataclasses.replace(spec, test_shift=0.0)
+        shifted_train, _ = generate_dataset(spec)
+        plain_train, _ = generate_dataset(unshifted)
+        assert np.array_equal(shifted_train.values, plain_train.values)
+
+
+class TestFigure1:
+    def test_rows_match_paper(self, figure1):
+        letters = "abcdefgho p".replace(" ", "")
+        ids = {letter: i for i, letter in enumerate("abcdefgh") }
+        ids["o"], ids["p"] = 8, 9
+        expected = ["abcde", "abcop", "cdefg", "cdefg", "efgho"]
+        for row, text in zip(figure1.rows, expected):
+            assert row == frozenset(ids[ch] for ch in text)
+
+    def test_labels(self, figure1):
+        assert figure1.labels == [1, 1, 1, 0, 0]
+
+    def test_class_names(self, figure1):
+        assert figure1.class_names == ["not_C", "C"]
+
+
+class TestRandomDiscretized:
+    def test_rows_nonempty(self):
+        ds = random_discretized_dataset(8, 6, density=0.05, seed=5)
+        assert all(len(row) >= 1 for row in ds.rows)
+
+    def test_both_classes_present(self):
+        for seed in range(5):
+            ds = random_discretized_dataset(6, 5, seed=seed)
+            assert set(ds.labels) == {0, 1}
+
+    def test_deterministic(self):
+        a = random_discretized_dataset(8, 6, seed=2)
+        b = random_discretized_dataset(8, 6, seed=2)
+        assert a.rows == b.rows and a.labels == b.labels
+
+
+class TestSeedRobustness:
+    """The pipeline must not be knife-edge on the default seeds."""
+
+    @pytest.mark.parametrize("seed_offset", (1, 2, 3))
+    def test_all_shape_robust_across_seeds(self, seed_offset):
+        import dataclasses
+
+        from repro.classifiers import CBAClassifier, RCBTClassifier
+        from repro.data.discretize import EntropyDiscretizer
+
+        spec = dataclasses.replace(
+            ALL_AML.scaled(0.05), seed=ALL_AML.seed + seed_offset
+        )
+        train, test = generate_dataset(spec)
+        disc = EntropyDiscretizer().fit(train)
+        train_items, test_items = disc.transform(train), disc.transform(test)
+        rcbt = RCBTClassifier(k=3, nl=5).fit(train_items)
+        cba = CBAClassifier().fit(train_items)
+        assert rcbt.score(test_items) >= 0.8
+        assert cba.score(test_items) >= 0.7

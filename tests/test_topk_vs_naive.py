@@ -1,0 +1,90 @@
+"""Property-based cross-validation of MineTopkRGS against the oracle.
+
+The naive oracle enumerates every closed rule group by brute force and
+sorts; MineTopkRGS must produce per-row lists with exactly the same
+(confidence, support) profile for every row, any engine, any flag
+combination.  Tie *identity* may differ (the paper leaves tie order to
+discovery order), so profiles, not antecedents, are compared.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.naive_topk import naive_topk
+from repro.core.topk_miner import mine_topk
+from repro.data.dataset import DiscretizedDataset, Item
+
+
+@st.composite
+def small_datasets(draw):
+    n_rows = draw(st.integers(4, 9))
+    n_items = draw(st.integers(3, 8))
+    rows = []
+    for _ in range(n_rows):
+        row = draw(
+            st.sets(st.integers(0, n_items - 1), min_size=1, max_size=n_items)
+        )
+        rows.append(frozenset(row))
+    labels = draw(
+        st.lists(st.integers(0, 1), min_size=n_rows, max_size=n_rows).filter(
+            lambda ls: 0 in ls and 1 in ls
+        )
+    )
+    items = [
+        Item(i, i, f"g{i}", float("-inf"), float("inf"))
+        for i in range(n_items)
+    ]
+    return DiscretizedDataset(rows, labels, items)
+
+
+def profiles(per_row):
+    return {
+        row: [(g.confidence, g.support) for g in groups]
+        for row, groups in per_row.items()
+    }
+
+
+@given(small_datasets(), st.integers(1, 3), st.integers(1, 3))
+@settings(max_examples=60, deadline=None)
+def test_miner_matches_oracle(dataset, minsup, k):
+    expected = profiles(naive_topk(dataset, 1, minsup, k))
+    actual = profiles(mine_topk(dataset, 1, minsup, k).per_row)
+    assert actual == expected
+
+
+@given(small_datasets(), st.integers(1, 2))
+@settings(max_examples=30, deadline=None)
+def test_all_engines_match_oracle(dataset, k):
+    expected = profiles(naive_topk(dataset, 0, 1, k))
+    for engine in ("bitset", "table", "tree"):
+        actual = profiles(mine_topk(dataset, 0, 1, k, engine=engine).per_row)
+        assert actual == expected, engine
+
+
+@given(small_datasets())
+@settings(max_examples=30, deadline=None)
+def test_flag_combinations_match_oracle(dataset):
+    expected = profiles(naive_topk(dataset, 1, 1, 2))
+    for init in (True, False):
+        for dynamic in (True, False):
+            result = mine_topk(
+                dataset, 1, 1, 2,
+                initialize_single_items=init,
+                dynamic_minsup=dynamic,
+            )
+            assert profiles(result.per_row) == expected
+
+
+@given(small_datasets(), st.integers(1, 4))
+@settings(max_examples=30, deadline=None)
+def test_returned_groups_are_real(dataset, k):
+    result = mine_topk(dataset, 1, 1, k)
+    class_mask = dataset.class_mask(1)
+    for row, groups in result.per_row.items():
+        for group in groups:
+            rows = dataset.support_set(group.antecedent)
+            assert rows == group.row_set
+            from repro.core.bitset import popcount
+
+            assert popcount(rows & class_mask) == group.support

@@ -1,0 +1,136 @@
+"""Tests pinning Figure 1(b)-(d) with the explicit transposed table."""
+
+import pytest
+
+from repro.core.transposed import TransposedTable
+
+A, B, C, D, E, F, G, H, O, P = range(10)
+
+
+@pytest.fixture
+def tt(figure1):
+    return TransposedTable.from_dataset(figure1)
+
+
+class TestFigure1b:
+    """TT — the root transposed table (0-based row ids)."""
+
+    def test_tuples_match_figure(self, tt):
+        assert tt.tuples[A] == (0, 1)
+        assert tt.tuples[B] == (0, 1)
+        assert tt.tuples[C] == (0, 1, 2, 3)
+        assert tt.tuples[D] == (0, 2, 3)
+        assert tt.tuples[E] == (0, 2, 3, 4)
+        assert tt.tuples[F] == (2, 3, 4)
+        assert tt.tuples[G] == (2, 3, 4)
+        assert tt.tuples[H] == (4,)
+        assert tt.tuples[O] == (1, 4)
+        assert tt.tuples[P] == (1,)
+
+    def test_all_items_present(self, tt):
+        assert tt.items() == list(range(10))
+
+    def test_not_projected(self, tt):
+        assert tt.projected_on == frozenset()
+
+
+class TestFigure1c:
+    """TT|_{1} — projection on row r1 (id 0)."""
+
+    def test_items_are_r1s(self, tt):
+        projected = tt.project([0])
+        assert projected.items() == [A, B, C, D, E]
+
+    def test_remaining_rows(self, tt):
+        projected = tt.project([0])
+        assert projected.tuples[A] == (1,)
+        assert projected.tuples[B] == (1,)
+        assert projected.tuples[C] == (1, 2, 3)
+        assert projected.tuples[D] == (2, 3)
+        assert projected.tuples[E] == (2, 3, 4)
+
+
+class TestFigure1d:
+    """TT|_{1,3} — projection on rows r1, r3 (ids 0, 2)."""
+
+    def test_items(self, tt):
+        projected = tt.project([0, 2])
+        assert projected.items() == [C, D, E]
+
+    def test_remaining_rows(self, tt):
+        projected = tt.project([0, 2])
+        assert projected.tuples[C] == (3,)
+        assert projected.tuples[D] == (3,)
+        assert projected.tuples[E] == (3, 4)
+
+    def test_incremental_projection_equivalent(self, tt):
+        direct = tt.project([0, 2])
+        chained = tt.project([0]).project([2])
+        assert direct.tuples == chained.tuples
+        assert direct.projected_on == chained.projected_on
+
+
+class TestOperations:
+    def test_row_frequencies(self, tt):
+        # Tuples c:(3,), d:(3,), e:(3,4): row 3 in all three, row 4 in e.
+        projected = tt.project([0, 2])
+        assert projected.row_frequencies() == {3: 3, 4: 1}
+
+    def test_closure_extension_finds_r4(self, tt):
+        # I({r1, r3}) = cde and r4 contains cde, so r4 (id 3) joins X.
+        projected = tt.project([0, 2])
+        assert projected.closure_extension() == [3]
+
+    def test_closure_extension_empty_when_tuple_exhausted(self, tt):
+        # Projecting on r1, r2: items a, b, c; a and b have no rows
+        # after r2, so nothing can be common to all tuples.
+        projected = tt.project([0, 1])
+        assert projected.items() == [A, B, C]
+        assert projected.closure_extension() == []
+
+    def test_project_empty_set_is_identity(self, tt):
+        assert tt.project([]) is tt
+
+    def test_render(self, tt, figure1):
+        text = tt.project([0, 2]).render(
+            item_namer=lambda i: figure1.item_label(i), row_offset=1
+        )
+        assert "c: {4}" in text
+        assert "e: {4, 5}" in text
+
+
+class TestAsExecutableSpecification:
+    """TransposedTable is the spec the engines implement; check they agree."""
+
+    def test_closure_matches_bitset_closure(self):
+        from repro.core.bitset import from_indices, to_indices
+        from repro.data.synthetic import random_discretized_dataset
+
+        for seed in range(6):
+            ds = random_discretized_dataset(9, 8, density=0.5, seed=seed)
+            tt = TransposedTable.from_dataset(ds)
+            for first in range(ds.n_rows):
+                projected = tt.project([first])
+                items = frozenset(projected.items())
+                if not items:
+                    continue
+                # Spec: X ∪ closure_extension == R(I(X)).
+                support = ds.support_set(items)
+                extension = [
+                    row for row in to_indices(support) if row > first
+                ]
+                # closure_extension only sees rows after `first`; earlier
+                # rows in the support set are the backward-pruning case.
+                assert projected.closure_extension() == extension
+
+    def test_projected_items_match_common_items(self):
+        from repro.core.bitset import from_indices
+        from repro.data.synthetic import random_discretized_dataset
+
+        for seed in range(6):
+            ds = random_discretized_dataset(9, 8, density=0.5, seed=seed)
+            tt = TransposedTable.from_dataset(ds)
+            for rows in ([0, 1], [2, 5], [1, 3, 6]):
+                projected = tt.project(rows)
+                expected = ds.common_items(from_indices(rows))
+                assert frozenset(projected.items()) == expected

@@ -1,0 +1,94 @@
+"""Tests for the C4.5-style decision tree."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers import DecisionTreeC45
+from repro.errors import NotFittedError
+
+
+def separable(n=40, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 5))
+    y = (X[:, 2] > 0).astype(int)
+    return X, y
+
+
+class TestFitting:
+    def test_perfect_on_separable(self):
+        X, y = separable()
+        tree = DecisionTreeC45().fit(X, y)
+        assert tree.score(X, y) == 1.0
+
+    def test_splits_on_informative_feature(self):
+        X, y = separable()
+        tree = DecisionTreeC45().fit(X, y)
+        assert tree.root_.feature == 2
+
+    def test_pure_labels_single_leaf(self):
+        X = np.zeros((10, 3))
+        y = np.ones(10, dtype=int)
+        tree = DecisionTreeC45().fit(X, y)
+        assert tree.root_.is_leaf
+        assert tree.depth() == 0
+
+    def test_max_depth_respected(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(60, 4))
+        y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+        tree = DecisionTreeC45(max_depth=1).fit(X, y)
+        assert tree.depth() <= 1
+
+    def test_conjunction_needs_depth_two(self):
+        # y = (x0 > 0) AND (x1 > 0): a stump cannot express it, depth 2
+        # can (greedy trees cannot learn symmetric XOR at all — zero
+        # marginal gain — so the classic depth test uses a conjunction).
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(200, 2))
+        y = ((X[:, 0] > 0) & (X[:, 1] > 0)).astype(int)
+        stump = DecisionTreeC45(max_depth=1).fit(X, y)
+        deep = DecisionTreeC45(max_depth=4).fit(X, y)
+        assert deep.score(X, y) >= 0.95
+        assert deep.score(X, y) > stump.score(X, y)
+
+    def test_min_leaf_weight(self):
+        X, y = separable(n=20)
+        big_leaf = DecisionTreeC45(min_leaf_weight=10.0).fit(X, y)
+        assert big_leaf.depth() <= 1
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            DecisionTreeC45().fit(np.zeros((4, 2)), [0, 1])
+
+    def test_sample_weights_steer_prediction(self):
+        # Two identical value columns; weights decide the majority.
+        X = np.array([[0.0], [0.0], [0.0]])
+        y = np.array([0, 1, 1])
+        flat = DecisionTreeC45().fit(X, y)
+        assert flat.predict(np.array([[0.0]]))[0] == 1
+        weighted = DecisionTreeC45().fit(
+            X, y, sample_weight=np.array([10.0, 1.0, 1.0])
+        )
+        assert weighted.predict(np.array([[0.0]]))[0] == 0
+
+
+class TestPrediction:
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            DecisionTreeC45().predict(np.zeros((1, 2)))
+
+    def test_prediction_shape(self):
+        X, y = separable()
+        tree = DecisionTreeC45().fit(X, y)
+        assert tree.predict(X[:7]).shape == (7,)
+
+    def test_deterministic(self):
+        X, y = separable()
+        a = DecisionTreeC45(seed=3).fit(X, y).predict(X)
+        b = DecisionTreeC45(seed=3).fit(X, y).predict(X)
+        assert np.array_equal(a, b)
+
+    def test_max_features_subsampling(self):
+        X, y = separable()
+        tree = DecisionTreeC45(max_features=2, seed=0).fit(X, y)
+        assert tree.score(X, y) >= 0.5
