@@ -11,7 +11,9 @@ Public surface:
 * :mod:`repro.classifiers` -- RCBT, CBA, IRG, C4.5 family, SVM;
 * :mod:`repro.analysis` -- gene rankings and evaluation metrics;
 * :mod:`repro.experiments` -- drivers regenerating every table and figure
-  of the paper's evaluation section.
+  of the paper's evaluation section;
+* :mod:`repro.service` -- embeddable serving layer (model registry,
+  mining cache, job queue, micro-batching, HTTP API; ``repro serve``).
 """
 
 from .core import (
@@ -31,6 +33,14 @@ from .data import (
     make_figure1_example,
 )
 from .errors import MiningBudgetExceeded, NotFittedError, ReproError
+from .service import (
+    JobQueue,
+    MiningCache,
+    ModelRegistry,
+    ReproServer,
+    RuleService,
+    dataset_fingerprint,
+)
 
 __version__ = "1.0.0"
 
@@ -38,13 +48,19 @@ __all__ = [
     "DiscretizedDataset",
     "EntropyDiscretizer",
     "GeneExpressionDataset",
+    "JobQueue",
     "MiningBudgetExceeded",
+    "MiningCache",
+    "ModelRegistry",
     "NotFittedError",
     "ReproError",
+    "ReproServer",
     "Rule",
     "RuleGroup",
+    "RuleService",
     "TopkResult",
     "__version__",
+    "dataset_fingerprint",
     "find_lower_bounds",
     "find_lower_bounds_batch",
     "generate_paper_dataset",

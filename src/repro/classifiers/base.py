@@ -49,20 +49,29 @@ class RuleBasedClassifier(ABC):
 
     def predict(self, dataset: "DiscretizedDataset") -> list[int]:
         """Predict every row of a dataset sharing the training catalog."""
-        return [self.predict_row(row)[0] for row in dataset.rows]
+        return [label for label, _ in self.predict_batch(dataset.rows)]
+
+    def predict_batch(
+        self, rows: Sequence[frozenset[int]]
+    ) -> list[tuple[int, str]]:
+        """(class id, decision source) for each itemized row.
+
+        The base implementation is a per-row loop; classifiers with a
+        rule-matching hot path (RCBT, CBA) override it with a bitset
+        implementation that compiles rule antecedents once and amortizes
+        that work across the whole batch.  Output is identical to calling
+        :meth:`predict_row` per row.
+        """
+        self._check_fitted()
+        return [self.predict_row(row) for row in rows]
 
     def predict_with_sources(
         self, dataset: "DiscretizedDataset"
     ) -> tuple[list[int], list[str]]:
         """Predictions plus their decision sources."""
         self._check_fitted()
-        predictions: list[int] = []
-        sources: list[str] = []
-        for row in dataset.rows:
-            label, source = self.predict_row(row)
-            predictions.append(label)
-            sources.append(source)
-        return predictions, sources
+        pairs = self.predict_batch(dataset.rows)
+        return [label for label, _ in pairs], [source for _, source in pairs]
 
     def score(self, dataset: "DiscretizedDataset") -> float:
         """Accuracy on a labelled dataset."""

@@ -18,7 +18,12 @@ from .cba import CBAClassifier
 from .rcbt import ClassifierLevel, RCBTClassifier
 from .selection import SelectedRules
 
-__all__ = ["save_classifier", "load_classifier"]
+__all__ = [
+    "save_classifier",
+    "load_classifier",
+    "classifier_to_payload",
+    "classifier_from_payload",
+]
 
 _FORMAT_VERSION = 1
 
@@ -41,10 +46,14 @@ def _rule_from_payload(payload: dict) -> Rule:
     )
 
 
-def save_classifier(
-    model: Union[CBAClassifier, RCBTClassifier], path: str | Path
-) -> None:
-    """Write a fitted CBA or RCBT classifier to ``path`` as JSON.
+def classifier_to_payload(
+    model: Union[CBAClassifier, RCBTClassifier]
+) -> dict:
+    """JSON-safe payload of a fitted CBA or RCBT classifier.
+
+    This is the in-memory half of :func:`save_classifier`; the service
+    registry and HTTP API move the same payload over the wire instead of
+    through a file.
 
     Raises:
         NotFittedError: if the model has not been trained.
@@ -83,17 +92,31 @@ def save_classifier(
         raise TypeError(
             f"cannot serialize classifier of type {type(model).__name__}"
         )
+    return payload
+
+
+def save_classifier(
+    model: Union[CBAClassifier, RCBTClassifier], path: str | Path
+) -> None:
+    """Write a fitted CBA or RCBT classifier to ``path`` as JSON.
+
+    Raises:
+        NotFittedError: if the model has not been trained.
+        TypeError: for unsupported classifier types.
+    """
+    payload = classifier_to_payload(model)
     Path(path).write_text(json.dumps(payload, indent=1), encoding="utf-8")
 
 
-def load_classifier(path: str | Path) -> Union[CBAClassifier, RCBTClassifier]:
-    """Load a classifier written by :func:`save_classifier`.
+def classifier_from_payload(
+    payload: dict,
+) -> Union[CBAClassifier, RCBTClassifier]:
+    """Rebuild a classifier from a :func:`classifier_to_payload` payload.
 
     The returned model predicts identically to the saved one; training
     artifacts that are not needed for prediction (mining results,
     candidate pools) are not restored.
     """
-    payload = json.loads(Path(path).read_text(encoding="utf-8"))
     version = payload.get("format")
     if version != _FORMAT_VERSION:
         raise ValueError(f"unsupported classifier file format: {version!r}")
@@ -134,3 +157,9 @@ def load_classifier(path: str | Path) -> Union[CBAClassifier, RCBTClassifier]:
         model._fitted = True
         return model
     raise ValueError(f"unknown classifier kind: {kind!r}")
+
+
+def load_classifier(path: str | Path) -> Union[CBAClassifier, RCBTClassifier]:
+    """Load a classifier written by :func:`save_classifier`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    return classifier_from_payload(payload)

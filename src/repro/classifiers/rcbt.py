@@ -20,7 +20,7 @@ coverage test as the main classifier.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from ..analysis.gene_ranking import gene_entropy_scores, item_scores
 from ..core.lower_bounds import find_lower_bounds_batch
@@ -46,14 +46,22 @@ class ClassifierLevel:
         self, row_items: frozenset[int], rule_scores: dict[int, float]
     ) -> Optional[int]:
         """Class decided by this level, or None when nothing matches."""
-        totals = [0.0] * len(self.score_norms)
-        matched = False
-        for index, rule in enumerate(self.rules):
-            if rule.antecedent <= row_items:
-                matched = True
-                totals[rule.consequent] += rule_scores[index]
+        matched = [
+            index
+            for index, rule in enumerate(self.rules)
+            if rule.antecedent <= row_items
+        ]
+        return self.vote_indices(matched, rule_scores)
+
+    def vote_indices(
+        self, matched: Sequence[int], rule_scores: dict[int, float]
+    ) -> Optional[int]:
+        """Class decided by the given matching rule indices, if any."""
         if not matched:
             return None
+        totals = [0.0] * len(self.score_norms)
+        for index in matched:
+            totals[self.rules[index].consequent] += rule_scores[index]
         best_class = 0
         best_score = -1.0
         for class_id, total in enumerate(totals):
@@ -109,6 +117,7 @@ class RCBTClassifier(RuleBasedClassifier):
         self._level_scores: list[dict[int, float]] = []
         self._class_counts: list[int] = []
         self.topk_results_: dict[int, TopkResult] = {}
+        self._rule_bits: Optional[list[list[int]]] = None
 
     def fit(self, train: "DiscretizedDataset") -> "RCBTClassifier":
         """Mine top-k covering rule groups and build the classifier cascade."""
@@ -165,6 +174,7 @@ class RCBTClassifier(RuleBasedClassifier):
                 self._append_level(rules, train.n_classes)
         if not default_set:
             self.default_class_ = majority_class(train.labels, train.n_classes)
+        self._rule_bits = None
         self._fitted = True
         return self
 
@@ -203,6 +213,61 @@ class RCBTClassifier(RuleBasedClassifier):
                 source = "main" if level_index == 0 else "standby"
                 return decision, source
         return self.default_class_, "default"
+
+    def _compiled_rule_bits(self) -> list[list[int]]:
+        """Per level, each rule's antecedent as an item bitset (cached).
+
+        Compiling once per fitted model turns the per-row subset test into
+        a two-int ``&``/``==`` probe, which is what lets a batch of rows
+        amortize the rule-matching work.
+        """
+        if self._rule_bits is None:
+            compiled: list[list[int]] = []
+            for level in self.levels_:
+                bits_per_rule = []
+                for rule in level.rules:
+                    bits = 0
+                    for item in rule.antecedent:
+                        bits |= 1 << item
+                    bits_per_rule.append(bits)
+                compiled.append(bits_per_rule)
+            self._rule_bits = compiled
+        return self._rule_bits
+
+    def predict_batch(
+        self, rows: Sequence[frozenset[int]]
+    ) -> list[tuple[int, str]]:
+        """Bitset fast path; output identical to per-row prediction."""
+        self._check_fitted()
+        compiled = self._compiled_rule_bits()
+        results: list[tuple[int, str]] = []
+        for row_items in rows:
+            row_bits = 0
+            for item in row_items:
+                row_bits |= 1 << item
+            prediction: Optional[tuple[int, str]] = None
+            for level_index, level in enumerate(self.levels_):
+                matched = [
+                    index
+                    for index, bits in enumerate(compiled[level_index])
+                    if bits & row_bits == bits
+                ]
+                if not matched:
+                    continue
+                if self.use_voting:
+                    decision = level.vote_indices(
+                        matched, self._level_scores[level_index]
+                    )
+                else:
+                    decision = level.rules[matched[0]].consequent
+                if decision is not None:
+                    source = "main" if level_index == 0 else "standby"
+                    prediction = (decision, source)
+                    break
+            if prediction is None:
+                prediction = (self.default_class_, "default")
+            results.append(prediction)
+        return results
 
     @property
     def n_levels_(self) -> int:

@@ -8,6 +8,8 @@ Commands:
 * ``classify``   — train a classifier on one TSV and evaluate on another
   (``--save`` persists a trained rule classifier and its pipeline);
 * ``predict``    — apply a saved rule classifier to new samples;
+* ``serve``      — run the JSON-over-HTTP serving layer of
+  :mod:`repro.service` (model registry, mining cache, async jobs);
 * ``experiments``— forward to the table/figure drivers.
 
 All file formats are the plain-text formats of :mod:`repro.data.loaders`
@@ -168,6 +170,25 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import ReproServer
+
+    server = ReproServer(
+        host=args.host,
+        port=args.port,
+        verbose=args.verbose,
+        models_dir=args.models_dir,
+        cache_bytes=args.cache_bytes,
+        mining_workers=args.workers,
+    )
+    registered = server.service.registry.names()
+    if registered:
+        print(f"warm started models: {', '.join(registered)}")
+    print(f"serving on {server.url} (Ctrl-C to stop)")
+    server.serve_forever()
+    return 0
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from .experiments.__main__ import main as experiments_main
 
@@ -180,7 +201,7 @@ def build_parser() -> argparse.ArgumentParser:
         description="Top-k covering rule groups for gene expression data "
                     "(SIGMOD 2005 reproduction)",
     )
-    commands = parser.add_subparsers(dest="command", required=True)
+    commands = parser.add_subparsers(dest="command")
 
     generate = commands.add_parser(
         "generate", help="write a synthetic paper-shaped dataset"
@@ -238,6 +259,23 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--data", required=True, help="samples TSV")
     predict.set_defaults(handler=_cmd_predict)
 
+    serve = commands.add_parser(
+        "serve", help="run the rule-mining & classification HTTP service"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="0 picks an ephemeral port")
+    serve.add_argument("--models-dir",
+                       help="persist registered models here and warm "
+                            "start from it")
+    serve.add_argument("--cache-bytes", type=int, default=64 * 1024 * 1024,
+                       help="byte bound of the mining result cache")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="mining job worker threads")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log one line per request")
+    serve.set_defaults(handler=_cmd_serve)
+
     experiments = commands.add_parser(
         "experiments", help="run a table/figure driver"
     )
@@ -253,7 +291,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "handler", None) is None:
+        # No subcommand: print usage and fail like argparse does for bad
+        # arguments, instead of raising AttributeError.
+        parser.print_usage(sys.stderr)
+        return 2
     return args.handler(args)
 
 

@@ -51,6 +51,12 @@ __all__ = ["SearchPolicy", "MinerStats", "run_enumeration", "ENGINES"]
 ENGINES = ("bitset", "table", "tree")
 
 
+class _CancelToken(Protocol):
+    """Cooperative-cancellation token (``threading.Event`` qualifies)."""
+
+    def is_set(self) -> bool: ...
+
+
 class SearchPolicy(Protocol):
     """Miner-specific pruning and collection logic.
 
@@ -111,19 +117,27 @@ class MinerStats:
 
 
 class _Budget:
-    """Node-count and wall-clock limits shared by all engines."""
+    """Node-count, wall-clock and cancellation limits shared by all engines.
+
+    ``cancel`` is any object with an ``is_set()`` method (typically a
+    :class:`threading.Event`); it is polled on the same 64-node stride as
+    the deadline so a long-running mine can be stopped cooperatively from
+    another thread (the service job queue relies on this).
+    """
 
     def __init__(
         self,
         stats: MinerStats,
         node_budget: Optional[int],
         time_budget: Optional[float],
+        cancel: Optional["_CancelToken"] = None,
     ) -> None:
         self.stats = stats
         self.node_budget = node_budget
         self.deadline = (
             time.monotonic() + time_budget if time_budget is not None else None
         )
+        self.cancel = cancel
 
     def charge_node(self) -> None:
         self.stats.nodes_visited += 1
@@ -135,13 +149,13 @@ class _Budget:
             raise MiningBudgetExceeded(
                 f"node budget {self.node_budget} exceeded", self.stats
             )
-        if (
-            self.deadline is not None
-            and self.stats.nodes_visited % 64 == 0
-            and time.monotonic() > self.deadline
-        ):
-            self.stats.completed = False
-            raise MiningBudgetExceeded("time budget exceeded", self.stats)
+        if self.stats.nodes_visited % 64 == 0:
+            if self.deadline is not None and time.monotonic() > self.deadline:
+                self.stats.completed = False
+                raise MiningBudgetExceeded("time budget exceeded", self.stats)
+            if self.cancel is not None and self.cancel.is_set():
+                self.stats.completed = False
+                raise MiningBudgetExceeded("mining cancelled", self.stats)
 
 
 def run_enumeration(
@@ -150,6 +164,7 @@ def run_enumeration(
     engine: str = "bitset",
     node_budget: Optional[int] = None,
     time_budget: Optional[float] = None,
+    cancel: Optional["_CancelToken"] = None,
 ) -> MinerStats:
     """Depth-first walk of the row enumeration tree under ``policy``.
 
@@ -160,13 +175,16 @@ def run_enumeration(
         node_budget: abort with :class:`MiningBudgetExceeded` after this
             many enumeration nodes.
         time_budget: abort after this many wall-clock seconds.
+        cancel: optional cancellation token (anything with ``is_set()``,
+            e.g. a :class:`threading.Event`); when set mid-run the walk
+            aborts like an exhausted budget.
 
     Returns:
         The :class:`MinerStats` of the completed run.  On budget overrun
         the exception carries the partial stats instead.
     """
     stats = MinerStats(engine=engine)
-    budget = _Budget(stats, node_budget, time_budget)
+    budget = _Budget(stats, node_budget, time_budget, cancel)
     start = time.monotonic()
     try:
         if engine == "bitset":

@@ -283,6 +283,7 @@ def mine_topk(
     use_topk_pruning: bool = True,
     node_budget: Optional[int] = None,
     time_budget: Optional[float] = None,
+    cancel=None,
 ) -> TopkResult:
     """Mine the top-k covering rule groups of every consequent-class row.
 
@@ -299,6 +300,9 @@ def mine_topk(
             identical either way.
         node_budget: optional enumeration-node limit.
         time_budget: optional wall-clock limit in seconds.
+        cancel: optional cancellation token (anything with ``is_set()``);
+            when set mid-run the lists discovered so far are returned with
+            ``stats.completed`` False, exactly like a budget overrun.
 
     Returns:
         A :class:`TopkResult` with per-row lists and run statistics.  When
@@ -320,6 +324,7 @@ def mine_topk(
             engine=engine,
             node_budget=node_budget,
             time_budget=time_budget,
+            cancel=cancel,
         )
     except MiningBudgetExceeded as overrun:
         stats = overrun.stats

@@ -31,6 +31,8 @@ __all__ = [
     "load_expression",
     "save_discretized",
     "load_discretized",
+    "discretized_to_payload",
+    "discretized_from_payload",
     "Benchmark",
     "load_benchmark",
     "default_cache_dir",
@@ -83,12 +85,16 @@ def load_expression(path: str | Path) -> GeneExpressionDataset:
     )
 
 
-def save_discretized(dataset: DiscretizedDataset, path: str | Path) -> None:
-    """Write a discretized dataset as JSON."""
-    payload = {
+def discretized_to_payload(dataset: DiscretizedDataset) -> dict:
+    """JSON-safe payload of a discretized dataset.
+
+    The same structure :func:`save_discretized` writes to disk; the
+    service's ``/mine`` endpoint accepts it as a request body.
+    """
+    return {
         "name": dataset.name,
-        "class_names": dataset.class_names,
-        "labels": dataset.labels,
+        "class_names": list(dataset.class_names),
+        "labels": list(dataset.labels),
         "rows": [sorted(row) for row in dataset.rows],
         "items": [
             {
@@ -101,12 +107,10 @@ def save_discretized(dataset: DiscretizedDataset, path: str | Path) -> None:
             for item in dataset.items
         ],
     }
-    Path(path).write_text(json.dumps(payload), encoding="utf-8")
 
 
-def load_discretized(path: str | Path) -> DiscretizedDataset:
-    """Read a dataset written by :func:`save_discretized`."""
-    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+def discretized_from_payload(payload: dict) -> DiscretizedDataset:
+    """Rebuild a dataset from a :func:`discretized_to_payload` payload."""
     items = [
         Item(
             entry["item_id"],
@@ -122,8 +126,23 @@ def load_discretized(path: str | Path) -> DiscretizedDataset:
         payload["labels"],
         items,
         class_names=payload["class_names"],
-        name=payload.get("name", Path(path).stem),
+        name=payload.get("name", "dataset"),
     )
+
+
+def save_discretized(dataset: DiscretizedDataset, path: str | Path) -> None:
+    """Write a discretized dataset as JSON."""
+    payload = discretized_to_payload(dataset)
+    Path(path).write_text(json.dumps(payload), encoding="utf-8")
+
+
+def load_discretized(path: str | Path) -> DiscretizedDataset:
+    """Read a dataset written by :func:`save_discretized`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    dataset = discretized_from_payload(payload)
+    if "name" not in payload:
+        dataset.name = Path(path).stem
+    return dataset
 
 
 def default_cache_dir() -> Path:

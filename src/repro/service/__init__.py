@@ -1,0 +1,39 @@
+"""Embeddable rule-mining & classification serving layer.
+
+Turns the one-shot library into a long-running server: a named model
+registry (:mod:`.registry`), a content-addressed mining cache
+(:mod:`.cache`), a cancellable mining job queue (:mod:`.jobs`),
+micro-batched classification (:mod:`.batching`), request telemetry
+(:mod:`.telemetry`) and a stdlib JSON-over-HTTP front end
+(:mod:`.server`, started by ``repro serve``).
+"""
+
+from .batching import MicroBatcher
+from .cache import MiningCache, dataset_fingerprint, mining_key
+from .jobs import Job, JobCancelled, JobQueue
+from .registry import ModelRecord, ModelRegistry
+from .server import (
+    ReproServer,
+    RuleService,
+    ServiceError,
+    topk_result_to_payload,
+)
+from .telemetry import LatencyHistogram, Telemetry
+
+__all__ = [
+    "Job",
+    "JobCancelled",
+    "JobQueue",
+    "LatencyHistogram",
+    "MicroBatcher",
+    "MiningCache",
+    "ModelRecord",
+    "ModelRegistry",
+    "ReproServer",
+    "RuleService",
+    "ServiceError",
+    "Telemetry",
+    "dataset_fingerprint",
+    "mining_key",
+    "topk_result_to_payload",
+]

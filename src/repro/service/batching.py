@@ -1,0 +1,174 @@
+"""Micro-batching of classify requests.
+
+Concurrent ``/classify`` callers hitting the same model each need the
+same per-request setup — rule antecedents compiled to bitsets and the
+Python-level dispatch into :meth:`predict_batch`.  A
+:class:`MicroBatcher` funnels requests that arrive within a small window
+into one ``predict_batch`` call, so that work is paid once per *batch*
+instead of once per request.  Each HTTP handler thread submits its rows
+and blocks until its slice of the batched result is ready; correctness
+is untouched because ``predict_batch`` is row-independent.
+
+The collector thread is non-daemon and joined by :meth:`close`, matching
+the service-wide rule that graceful shutdown leaves no threads behind.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+__all__ = ["MicroBatcher"]
+
+Rows = Sequence[frozenset]
+BatchFn = Callable[[list], list]
+
+
+@dataclass
+class _Pending:
+    """One caller's rows plus the slot its results land in."""
+
+    rows: list
+    done: threading.Event = field(default_factory=threading.Event)
+    results: Optional[list] = None
+    error: Optional[BaseException] = None
+
+
+class MicroBatcher:
+    """Coalesce concurrent prediction requests into batched calls.
+
+    Args:
+        predict_batch: function mapping a list of itemized rows to a
+            list of per-row results (one output element per input row).
+        max_batch_rows: flush once this many rows are pending.
+        max_delay: seconds the collector waits for more requests after
+            the first one arrives before flushing what it has.
+    """
+
+    def __init__(
+        self,
+        predict_batch: BatchFn,
+        max_batch_rows: int = 256,
+        max_delay: float = 0.002,
+        name: str = "repro-batcher",
+    ) -> None:
+        if max_batch_rows < 1:
+            raise ValueError(
+                f"max_batch_rows must be >= 1, got {max_batch_rows}"
+            )
+        if max_delay < 0:
+            raise ValueError(f"max_delay must be >= 0, got {max_delay}")
+        self._predict_batch = predict_batch
+        self.max_batch_rows = max_batch_rows
+        self.max_delay = max_delay
+        self._queue: "queue.Queue[Optional[_Pending]]" = queue.Queue()
+        self._closed = False
+        self._lock = threading.Lock()
+        self.batches = 0
+        self.requests = 0
+        self.batched_rows = 0
+        self.largest_batch = 0
+        self._thread = threading.Thread(target=self._collector, name=name)
+        self._thread.start()
+
+    def submit(self, rows: Rows) -> list:
+        """Block until predictions for ``rows`` are available.
+
+        Exceptions raised by the underlying ``predict_batch`` propagate
+        to every caller whose rows shared the failing batch.
+        """
+        rows = list(rows)
+        if not rows:
+            return []
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("batcher is closed")
+            self.requests += 1
+        pending = _Pending(rows=rows)
+        self._queue.put(pending)
+        pending.done.wait()
+        if pending.error is not None:
+            raise pending.error
+        assert pending.results is not None
+        return pending.results
+
+    def close(self) -> None:
+        """Flush remaining work and join the collector thread."""
+        with self._lock:
+            if self._closed:
+                self._thread.join()
+                return
+            self._closed = True
+        self._queue.put(None)
+        self._thread.join()
+
+    def stats(self) -> dict:
+        """JSON-safe batching counters for ``/metrics``."""
+        with self._lock:
+            mean = self.batched_rows / self.batches if self.batches else 0.0
+            return {
+                "requests": self.requests,
+                "batches": self.batches,
+                "rows": self.batched_rows,
+                "largest_batch_rows": self.largest_batch,
+                "mean_batch_rows": mean,
+            }
+
+    # -- collector thread --------------------------------------------------
+
+    def _collector(self) -> None:
+        while True:
+            first = self._queue.get()
+            if first is None:
+                return
+            batch = [first]
+            total_rows = len(first.rows)
+            deadline = (
+                threading.TIMEOUT_MAX
+                if self.max_delay == 0
+                else self.max_delay
+            )
+            stop = False
+            while total_rows < self.max_batch_rows:
+                if self.max_delay == 0:
+                    break
+                try:
+                    extra = self._queue.get(timeout=deadline)
+                except queue.Empty:
+                    break
+                if extra is None:
+                    stop = True
+                    break
+                batch.append(extra)
+                total_rows += len(extra.rows)
+            self._run_batch(batch, total_rows)
+            if stop:
+                return
+
+    def _run_batch(self, batch: list[_Pending], total_rows: int) -> None:
+        all_rows: list = []
+        for pending in batch:
+            all_rows.extend(pending.rows)
+        try:
+            results = self._predict_batch(all_rows)
+            if len(results) != total_rows:
+                raise RuntimeError(
+                    f"predict_batch returned {len(results)} results "
+                    f"for {total_rows} rows"
+                )
+        except BaseException as error:  # propagate to every waiter
+            for pending in batch:
+                pending.error = error
+                pending.done.set()
+            return
+        with self._lock:
+            self.batches += 1
+            self.batched_rows += total_rows
+            self.largest_batch = max(self.largest_batch, total_rows)
+        offset = 0
+        for pending in batch:
+            pending.results = results[offset:offset + len(pending.rows)]
+            offset += len(pending.rows)
+            pending.done.set()

@@ -1,0 +1,148 @@
+"""Content-addressed cache of :func:`~repro.core.topk_miner.mine_topk` runs.
+
+The paper's intended workflow is interactive: a biologist loads one
+discretized dataset and re-mines it while sweeping ``minsup``/``k``.
+Every such request is a pure function of ``(dataset contents, consequent,
+minsup, k, engine)``, so the service keys a cache on a SHA-256
+fingerprint of exactly those inputs and answers repeats in O(1).
+
+The cache is an LRU bounded by an *estimated byte size* rather than an
+entry count, because one ``TopkResult`` can range from a handful of rule
+groups to tens of thousands; bounding bytes keeps the resident set
+predictable regardless of workload shape.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sys
+import threading
+from collections import OrderedDict
+from typing import Optional
+
+from ..core.topk_miner import TopkResult
+from ..data.dataset import DiscretizedDataset
+
+__all__ = ["dataset_fingerprint", "mining_key", "MiningCache"]
+
+
+def dataset_fingerprint(dataset: DiscretizedDataset) -> str:
+    """SHA-256 hex digest of a discretized dataset's full contents.
+
+    Two datasets with identical rows, labels, item catalogs and class
+    names fingerprint identically regardless of object identity, load
+    path, or ``name`` (the display name does not affect mining output).
+    """
+    blob = json.dumps(
+        {
+            "rows": [sorted(row) for row in dataset.rows],
+            "labels": dataset.labels,
+            "items": [
+                (item.item_id, item.gene_index, item.gene_name,
+                 repr(item.low), repr(item.high))
+                for item in dataset.items
+            ],
+            "class_names": dataset.class_names,
+        },
+        separators=(",", ":"),
+    ).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+def mining_key(
+    fingerprint: str, consequent: int, minsup: int, k: int, engine: str
+) -> str:
+    """Cache key of one mining request over a fingerprinted dataset."""
+    return f"{fingerprint}:c{consequent}:s{minsup}:k{k}:{engine}"
+
+
+def _estimate_result_bytes(result: TopkResult) -> int:
+    """Rough resident size of a cached result.
+
+    Exact deep sizes are not worth the traversal cost; rule groups
+    dominate, so charge each distinct group its measured container sizes
+    and each per-row list slot a pointer.  The estimate only needs to be
+    proportional enough for the byte bound to behave sensibly.
+    """
+    seen: set[int] = set()
+    total = sys.getsizeof(result.per_row)
+    for groups in result.per_row.values():
+        total += sys.getsizeof(groups) + 8 * len(groups)
+        for group in groups:
+            if id(group) in seen:
+                continue
+            seen.add(id(group))
+            total += 128  # dataclass + scalar fields
+            total += sys.getsizeof(group.antecedent)
+            total += sys.getsizeof(group.row_set)
+    return total
+
+
+class MiningCache:
+    """Byte-bounded LRU cache of finished mining results.
+
+    Args:
+        max_bytes: bound on the summed size estimates of cached results.
+            Oldest (least recently used) entries are evicted to fit; a
+            single result larger than the bound is simply not cached.
+    """
+
+    def __init__(self, max_bytes: int = 64 * 1024 * 1024) -> None:
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        self.max_bytes = max_bytes
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, tuple[TopkResult, int]]" = OrderedDict()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: str) -> Optional[TopkResult]:
+        """Cached result for ``key``, refreshing its recency; else None."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry[0]
+
+    def put(self, key: str, result: TopkResult) -> None:
+        """Insert (or refresh) a finished mining result."""
+        size = _estimate_result_bytes(result)
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old[1]
+            if size > self.max_bytes:
+                return
+            while self._bytes + size > self.max_bytes and self._entries:
+                _, (_, evicted_size) = self._entries.popitem(last=False)
+                self._bytes -= evicted_size
+                self.evictions += 1
+            self._entries[key] = (result, size)
+            self._bytes += size
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        """JSON-safe counters for ``/metrics``."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "max_bytes": self.max_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

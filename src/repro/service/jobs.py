@@ -1,0 +1,220 @@
+"""Thread-pool job queue for long-running mining requests.
+
+``/mine`` requests can run for seconds to minutes, far past what an HTTP
+round-trip should hold open, so the server submits them here and hands
+the client a job id to poll.  The design leans on machinery the miners
+already have:
+
+* **cancellation** is cooperative — every job gets a
+  :class:`threading.Event` that the mining loop polls through the
+  ``cancel`` budget hook of :func:`repro.core.enumeration.run_enumeration`
+  (same stride as the wall-clock deadline), so a cancelled job stops
+  within a few dozen enumeration nodes;
+* **budgets** — node and wall-clock caps from
+  :func:`~repro.core.topk_miner.mine_topk` — bound each job regardless of
+  client behaviour.
+
+Worker threads are deliberately *non-daemon*: :meth:`JobQueue.shutdown`
+must be able to prove a clean exit (the tests assert no non-daemon
+threads survive it), and daemon threads would just hide leaks.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..errors import ReproError
+
+__all__ = ["Job", "JobCancelled", "JobQueue"]
+
+# Job lifecycle: queued -> running -> {done, failed, cancelled};
+# queued jobs may go straight to cancelled.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+
+class JobCancelled(ReproError):
+    """Raised inside a job function to acknowledge a cancellation."""
+
+
+@dataclass
+class Job:
+    """One submitted unit of work and its observable state."""
+
+    job_id: str
+    status: str = QUEUED
+    result: Any = None
+    error: Optional[str] = None
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    cancel_event: threading.Event = field(default_factory=threading.Event)
+    _done: threading.Event = field(default_factory=threading.Event)
+
+    def describe(self) -> dict:
+        """JSON-safe status (without the result payload)."""
+        return {
+            "job_id": self.job_id,
+            "status": self.status,
+            "error": self.error,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job reaches a terminal state."""
+        return self._done.wait(timeout)
+
+
+class JobQueue:
+    """FIFO queue of jobs executed by a fixed pool of worker threads.
+
+    Args:
+        workers: worker thread count.  Mining is CPU-bound pure Python,
+            so a small pool (default 2) keeps the GIL contention low
+            while still overlapping mining with request handling.
+    """
+
+    def __init__(self, workers: int = 2, name: str = "repro-miner") -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self._queue: "queue.Queue[Optional[Job]]" = queue.Queue()
+        self._jobs: dict[str, Job] = {}
+        self._job_fns: dict[str, Callable[[Job], Any]] = {}
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._closed = False
+        self._threads = [
+            threading.Thread(target=self._worker, name=f"{name}-{index}")
+            for index in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- client surface ----------------------------------------------------
+
+    def submit(self, fn: Callable[[Job], Any]) -> Job:
+        """Enqueue ``fn`` and return its job handle immediately.
+
+        ``fn`` receives the :class:`Job` (so it can poll
+        ``job.cancel_event``) and its return value becomes
+        ``job.result``.  Raising :class:`JobCancelled` marks the job
+        cancelled instead of failed.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("job queue is shut down")
+            job = Job(job_id=f"job-{next(self._ids)}")
+            self._jobs[job.job_id] = job
+            self._job_fns[job.job_id] = fn
+        self._queue.put(job)
+        return job
+
+    def get(self, job_id: str) -> Job:
+        """Look up a job by id; raises KeyError for unknown ids."""
+        with self._lock:
+            return self._jobs[job_id]
+
+    def cancel(self, job_id: str) -> Job:
+        """Request cancellation of a job.
+
+        A still-queued job is cancelled immediately; a running job has
+        its cancel event set and transitions once the mining loop
+        notices.  Terminal jobs are returned unchanged.
+        """
+        job = self.get(job_id)
+        with self._lock:
+            if job.status == QUEUED:
+                self._finish(job, CANCELLED, error="cancelled before start")
+            job.cancel_event.set()
+        return job
+
+    def describe(self) -> dict:
+        """JSON-safe queue summary for ``/metrics``."""
+        with self._lock:
+            by_status: dict[str, int] = {}
+            for job in self._jobs.values():
+                by_status[job.status] = by_status.get(job.status, 0) + 1
+            return {
+                "workers": len(self._threads),
+                "jobs": len(self._jobs),
+                "by_status": dict(sorted(by_status.items())),
+            }
+
+    def shutdown(self, cancel_running: bool = True) -> None:
+        """Stop accepting work, drain the pool, join every worker.
+
+        Queued jobs are cancelled; running jobs are cancelled too when
+        ``cancel_running`` (otherwise they finish).  Idempotent, and on
+        return no worker thread is alive.
+        """
+        with self._lock:
+            if self._closed:
+                already_closed = True
+            else:
+                already_closed = False
+                self._closed = True
+                for job in self._jobs.values():
+                    if job.status == QUEUED:
+                        self._finish(job, CANCELLED, error="queue shut down")
+                        job.cancel_event.set()
+                    elif job.status == RUNNING and cancel_running:
+                        job.cancel_event.set()
+        if not already_closed:
+            for _ in self._threads:
+                self._queue.put(None)
+        for thread in self._threads:
+            thread.join()
+
+    # -- worker loop -------------------------------------------------------
+
+    def _worker(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                return
+            with self._lock:
+                if job.status != QUEUED:  # cancelled while waiting
+                    self._job_fns.pop(job.job_id, None)
+                    continue
+                job.status = RUNNING
+                job.started_at = time.time()
+                fn = self._job_fns.pop(job.job_id)
+            try:
+                result = fn(job)
+            except JobCancelled as stop:
+                with self._lock:
+                    self._finish(job, CANCELLED, error=str(stop) or "cancelled")
+            except Exception:
+                with self._lock:
+                    self._finish(job, FAILED, error=traceback.format_exc())
+            else:
+                with self._lock:
+                    if job.cancel_event.is_set():
+                        # The function returned a partial result after a
+                        # cooperative stop; keep it but mark the outcome.
+                        job.result = result
+                        self._finish(job, CANCELLED, error="cancelled")
+                    else:
+                        job.result = result
+                        self._finish(job, DONE)
+
+    def _finish(
+        self, job: Job, status: str, error: Optional[str] = None
+    ) -> None:
+        """Transition a job to a terminal state (caller holds the lock)."""
+        job.status = status
+        job.error = error
+        job.finished_at = time.time()
+        self._job_fns.pop(job.job_id, None)
+        job._done.set()

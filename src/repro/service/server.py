@@ -1,0 +1,557 @@
+"""The serving layer: an embeddable facade plus a threaded HTTP API.
+
+Two levels, so every future scaling PR has a seam to plug into:
+
+* :class:`RuleService` — the transport-free facade.  It owns the model
+  registry, the content-addressed mining cache, the mining job queue,
+  per-model classify micro-batchers and the telemetry registry, and
+  exposes plain-dict operations (``classify``, ``submit_mine``,
+  ``job_status``...).  Embed it directly in another process, or put any
+  transport in front of it.
+* :class:`ReproServer` — a stdlib ``ThreadingHTTPServer`` speaking JSON
+  over the endpoints below.  Started by ``repro serve``.
+
+HTTP surface::
+
+    GET    /healthz            liveness + uptime
+    GET    /metrics            counters, latencies, cache/jobs/batching
+    GET    /models             registered model versions
+    POST   /models             register {"name", "model", ["pipeline"]}
+    POST   /classify           {"model", ["version"], "rows" | "values"}
+    POST   /mine               async mining; returns job id or cached hit
+    GET    /jobs/<id>          job status (+ result when finished)
+    DELETE /jobs/<id>          cooperative cancellation
+
+A ``/mine`` request is answered from cache when an identical
+``(dataset fingerprint, consequent, minsup, k, engine)`` run already
+finished, and deduplicated onto the in-flight job when one is still
+running — repeated interactive sweeps over one dataset (the paper's own
+use case) pay mining cost once.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+import numpy as np
+
+from ..core.bitset import iter_indices
+from ..core.enumeration import ENGINES
+from ..core.topk_miner import TopkResult, mine_topk, relative_minsup
+from ..data.dataset import GeneExpressionDataset
+from ..data.discretize import EntropyDiscretizer
+from ..data.loaders import discretized_from_payload
+from .batching import MicroBatcher
+from .cache import MiningCache, dataset_fingerprint, mining_key
+from .jobs import DONE, JobQueue
+from .registry import ModelRegistry
+from .telemetry import Telemetry
+
+__all__ = ["RuleService", "ReproServer", "ServiceError", "topk_result_to_payload"]
+
+
+class ServiceError(Exception):
+    """A client-visible request error with an HTTP status code."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def topk_result_to_payload(result: TopkResult) -> dict:
+    """JSON-safe rendering of a mining result."""
+    return {
+        "consequent": result.consequent,
+        "minsup": result.minsup,
+        "k": result.k,
+        "completed": result.stats.completed,
+        "stats": result.stats.as_dict(),
+        "n_unique_groups": len(result.unique_groups()),
+        "per_row": {
+            str(row): [
+                {
+                    "antecedent": sorted(group.antecedent),
+                    "support": group.support,
+                    "confidence": group.confidence,
+                    "rows": list(iter_indices(group.row_set)),
+                }
+                for group in groups
+            ]
+            for row, groups in sorted(result.per_row.items())
+        },
+    }
+
+
+class RuleService:
+    """Transport-free serving facade over registry, cache and job queue.
+
+    Args:
+        models_dir: when given, the registry persists there and warm
+            starts from it.
+        cache_bytes: byte bound of the mining cache.
+        mining_workers: worker threads of the mining job queue.
+        node_budget / time_budget: default per-job mining budgets
+            (overridable per request).
+        batch_rows / batch_delay: micro-batching knobs for classify.
+    """
+
+    def __init__(
+        self,
+        models_dir: Optional[str] = None,
+        cache_bytes: int = 64 * 1024 * 1024,
+        mining_workers: int = 2,
+        node_budget: Optional[int] = 2_000_000,
+        time_budget: Optional[float] = 300.0,
+        batch_rows: int = 256,
+        batch_delay: float = 0.002,
+    ) -> None:
+        self.registry = ModelRegistry(models_dir)
+        self.cache = MiningCache(cache_bytes)
+        self.jobs = JobQueue(workers=mining_workers)
+        self.telemetry = Telemetry()
+        self.node_budget = node_budget
+        self.time_budget = time_budget
+        self.batch_rows = batch_rows
+        self.batch_delay = batch_delay
+        self.started_at = time.time()
+        self._batchers: dict[tuple[str, int], MicroBatcher] = {}
+        self._inflight: dict[str, str] = {}  # mining key -> active job id
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # -- health / metrics --------------------------------------------------
+
+    def health(self) -> dict:
+        return {
+            "status": "ok",
+            "uptime_seconds": time.time() - self.started_at,
+            "models": len(self.registry),
+        }
+
+    def metrics(self) -> dict:
+        with self._lock:
+            batching = {
+                f"{name}@v{version}": batcher.stats()
+                for (name, version), batcher in sorted(self._batchers.items())
+            }
+        return self.telemetry.snapshot(
+            extra={
+                "cache": self.cache.stats(),
+                "jobs": self.jobs.describe(),
+                "batching": batching,
+            }
+        )
+
+    # -- models ------------------------------------------------------------
+
+    def register_model(self, body: dict) -> dict:
+        name = body.get("name")
+        payload = body.get("model")
+        if not isinstance(name, str) or not isinstance(payload, dict):
+            raise ServiceError(
+                400, "body must carry 'name' (string) and 'model' (object)"
+            )
+        try:
+            record = self.registry.register_payload(
+                name, payload, pipeline=body.get("pipeline")
+            )
+        except (ValueError, KeyError) as error:
+            raise ServiceError(400, f"bad model payload: {error}")
+        self.telemetry.increment("models_registered")
+        return record.describe()
+
+    def list_models(self) -> dict:
+        return {"models": self.registry.describe()}
+
+    # -- classify ----------------------------------------------------------
+
+    def classify(self, body: dict) -> dict:
+        start = time.monotonic()
+        name = body.get("model")
+        if not isinstance(name, str):
+            raise ServiceError(400, "body must carry 'model' (string)")
+        version = body.get("version")
+        try:
+            record = self.registry.get(
+                name, int(version) if version is not None else None
+            )
+        except KeyError as error:
+            # str(KeyError) wraps the message in quotes; unwrap it.
+            raise ServiceError(404, error.args[0] if error.args else str(error))
+        rows = body.get("rows")
+        values = body.get("values")
+        if (rows is None) == (values is None):
+            raise ServiceError(
+                400, "provide exactly one of 'rows' (item ids) or "
+                     "'values' (expression values)"
+            )
+        if values is not None:
+            rows = self._discretize_values(record, values)
+        else:
+            try:
+                rows = [frozenset(int(i) for i in row) for row in rows]
+            except (TypeError, ValueError):
+                raise ServiceError(400, "'rows' must be lists of item ids")
+        pairs = self._batcher(record).submit(rows)
+        class_names = (
+            record.pipeline.get("class_names") if record.pipeline else None
+        )
+        self.telemetry.increment("classify_requests")
+        self.telemetry.increment("classify_rows", len(rows))
+        self.telemetry.observe("classify_seconds", time.monotonic() - start)
+        return {
+            "model": record.name,
+            "version": record.version,
+            "predictions": [label for label, _ in pairs],
+            "sources": [source for _, source in pairs],
+            "class_names": class_names,
+        }
+
+    def _discretize_values(self, record, values) -> list[frozenset[int]]:
+        if record.pipeline is None:
+            raise ServiceError(
+                400,
+                f"model {record.name!r} has no pipeline; send discretized "
+                "'rows' instead of raw 'values'",
+            )
+        pipeline = record.pipeline
+        try:
+            matrix = np.asarray(values, dtype=float)
+            if matrix.ndim != 2:
+                raise ValueError("expected a 2-d list of sample values")
+            discretizer = EntropyDiscretizer.from_cuts(
+                {int(g): c for g, c in pipeline["cuts"].items()},
+                pipeline["gene_names"],
+                pipeline["class_names"],
+            )
+            data = GeneExpressionDataset(
+                matrix,
+                [0] * matrix.shape[0],
+                pipeline["gene_names"],
+                pipeline["class_names"],
+            )
+            return list(discretizer.transform(data).rows)
+        except ServiceError:
+            raise
+        except (KeyError, ValueError, TypeError) as error:
+            raise ServiceError(400, f"bad 'values' payload: {error}")
+
+    def _batcher(self, record) -> MicroBatcher:
+        key = (record.name, record.version)
+        with self._lock:
+            if self._closed:
+                raise ServiceError(503, "service is shutting down")
+            batcher = self._batchers.get(key)
+            if batcher is None:
+                batcher = MicroBatcher(
+                    record.model.predict_batch,
+                    max_batch_rows=self.batch_rows,
+                    max_delay=self.batch_delay,
+                    name=f"repro-batcher-{record.name}-v{record.version}",
+                )
+                self._batchers[key] = batcher
+            return batcher
+
+    # -- mining ------------------------------------------------------------
+
+    def submit_mine(self, body: dict) -> dict:
+        start = time.monotonic()
+        items = body.get("items")
+        if not isinstance(items, dict):
+            raise ServiceError(
+                400, "body must carry 'items' (a discretized dataset payload)"
+            )
+        try:
+            dataset = discretized_from_payload(items)
+        except (KeyError, ValueError, TypeError) as error:
+            raise ServiceError(400, f"bad 'items' payload: {error}")
+        try:
+            consequent = int(body.get("consequent", 1))
+            k = int(body.get("k", 1))
+        except (TypeError, ValueError):
+            raise ServiceError(400, "'consequent' and 'k' must be integers")
+        if not 0 <= consequent < dataset.n_classes:
+            raise ServiceError(
+                400, f"consequent {consequent} out of range for "
+                     f"{dataset.n_classes} classes"
+            )
+        if k < 1:
+            raise ServiceError(400, f"k must be >= 1, got {k}")
+        engine = body.get("engine", "bitset")
+        if engine not in ENGINES:
+            raise ServiceError(
+                400, f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
+        minsup = body.get("minsup")
+        if minsup is None:
+            try:
+                minsup = relative_minsup(
+                    dataset, consequent,
+                    float(body.get("minsup_fraction", 0.7)),
+                )
+            except (TypeError, ValueError) as error:
+                raise ServiceError(400, str(error))
+        minsup = int(minsup)
+
+        key = mining_key(
+            dataset_fingerprint(dataset), consequent, minsup, k, engine
+        )
+        cached = self.cache.get(key)
+        if cached is not None:
+            self.telemetry.increment("mine_cache_hits")
+            self.telemetry.observe("mine_submit_seconds",
+                                   time.monotonic() - start)
+            return {
+                "status": DONE,
+                "cached": True,
+                "key": key,
+                "result": topk_result_to_payload(cached),
+            }
+        self.telemetry.increment("mine_cache_misses")
+
+        node_budget = body.get("node_budget", self.node_budget)
+        time_budget = body.get("time_budget", self.time_budget)
+
+        with self._lock:
+            inflight_id = self._inflight.get(key)
+        if inflight_id is not None:
+            try:
+                job = self.jobs.get(inflight_id)
+            except KeyError:
+                job = None
+            if job is not None and job.status in ("queued", "running"):
+                self.telemetry.increment("mine_deduplicated")
+                return {
+                    "status": job.status,
+                    "cached": False,
+                    "deduplicated": True,
+                    "key": key,
+                    "job_id": job.job_id,
+                }
+
+        def run(job):
+            try:
+                result = mine_topk(
+                    dataset, consequent, minsup, k=k, engine=engine,
+                    node_budget=node_budget, time_budget=time_budget,
+                    cancel=job.cancel_event,
+                )
+                if result.stats.completed:
+                    self.cache.put(key, result)
+                return topk_result_to_payload(result)
+            finally:
+                with self._lock:
+                    if self._inflight.get(key) == job.job_id:
+                        del self._inflight[key]
+
+        job = self.jobs.submit(run)
+        with self._lock:
+            self._inflight[key] = job.job_id
+        self.telemetry.increment("mine_jobs_submitted")
+        self.telemetry.observe("mine_submit_seconds", time.monotonic() - start)
+        return {
+            "status": job.status,
+            "cached": False,
+            "key": key,
+            "job_id": job.job_id,
+        }
+
+    def job_status(self, job_id: str) -> dict:
+        try:
+            job = self.jobs.get(job_id)
+        except KeyError:
+            raise ServiceError(404, f"unknown job {job_id!r}")
+        payload = job.describe()
+        if job.result is not None:
+            payload["result"] = job.result
+        return payload
+
+    def cancel_job(self, job_id: str) -> dict:
+        try:
+            job = self.jobs.cancel(job_id)
+        except KeyError:
+            raise ServiceError(404, f"unknown job {job_id!r}")
+        self.telemetry.increment("mine_jobs_cancelled")
+        return job.describe()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Cancel mining, drain batchers, join every owned thread."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            batchers = list(self._batchers.values())
+        self.jobs.shutdown(cancel_running=True)
+        for batcher in batchers:
+            batcher.close()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto the shared :class:`RuleService`."""
+
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+    # 16 MiB request bound: a scaled paper dataset payload fits easily,
+    # and anything bigger is almost certainly a client bug.
+    max_body_bytes = 16 * 1024 * 1024
+
+    @property
+    def service(self) -> RuleService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0))
+        if length > self.max_body_bytes:
+            raise ServiceError(413, "request body too large")
+        if length <= 0:
+            raise ServiceError(400, "missing request body")
+        raw = self.rfile.read(length)
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise ServiceError(400, f"invalid JSON body: {error}")
+        if not isinstance(body, dict):
+            raise ServiceError(400, "request body must be a JSON object")
+        return body
+
+    def _dispatch(self, fn) -> None:
+        self.service.telemetry.increment("http_requests")
+        try:
+            status, payload = fn()
+        except ServiceError as error:
+            self.service.telemetry.increment("http_errors")
+            status, payload = error.status, {"error": str(error)}
+        except Exception as error:  # pragma: no cover - defensive
+            self.service.telemetry.increment("http_errors")
+            status, payload = 500, {"error": f"internal error: {error}"}
+        self._send_json(status, payload)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/healthz":
+            self._dispatch(lambda: (200, self.service.health()))
+        elif path == "/metrics":
+            self._dispatch(lambda: (200, self.service.metrics()))
+        elif path == "/models":
+            self._dispatch(lambda: (200, self.service.list_models()))
+        elif path.startswith("/jobs/"):
+            job_id = path[len("/jobs/"):]
+            self._dispatch(lambda: (200, self.service.job_status(job_id)))
+        else:
+            self._send_json(404, {"error": f"no route for GET {path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path == "/models":
+            self._dispatch(
+                lambda: (201, self.service.register_model(self._read_json()))
+            )
+        elif path == "/classify":
+            self._dispatch(
+                lambda: (200, self.service.classify(self._read_json()))
+            )
+        elif path == "/mine":
+            self._dispatch(
+                lambda: (202, self.service.submit_mine(self._read_json()))
+            )
+        else:
+            self._send_json(404, {"error": f"no route for POST {path}"})
+
+    def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path.startswith("/jobs/"):
+            job_id = path[len("/jobs/"):]
+            self._dispatch(lambda: (200, self.service.cancel_job(job_id)))
+        else:
+            self._send_json(404, {"error": f"no route for DELETE {path}"})
+
+
+class ReproServer:
+    """A :class:`RuleService` behind a stdlib threading HTTP server.
+
+    Args:
+        host/port: bind address; port 0 picks an ephemeral port (read it
+            back from :attr:`port` — the e2e tests rely on this).
+        service: an existing facade to serve; one is built from the
+            remaining keyword arguments when omitted.
+        verbose: log one line per request to stderr.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        service: Optional[RuleService] = None,
+        verbose: bool = False,
+        **service_kwargs,
+    ) -> None:
+        self.service = service if service is not None else RuleService(
+            **service_kwargs
+        )
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        # Handler threads are short-lived; daemonize them so an in-flight
+        # response cannot wedge shutdown, and join workers we own instead.
+        self._httpd.daemon_threads = True
+        self._httpd.service = self.service  # type: ignore[attr-defined]
+        self._httpd.verbose = verbose  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ReproServer":
+        """Serve in a background thread; returns once the socket listens."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="repro-serve",
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted."""
+        try:
+            self._httpd.serve_forever(poll_interval=0.5)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop()
+
+    def stop(self) -> None:
+        """Graceful shutdown: jobs cancelled, threads joined, socket closed."""
+        self.service.shutdown()
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None

@@ -1,0 +1,96 @@
+"""Request counters and latency histograms for the serving layer.
+
+A deliberately tiny, stdlib-only metrics registry: named monotonic
+counters plus fixed-bucket latency histograms, all behind one lock so a
+``ThreadingHTTPServer`` handler thread can record from anywhere.  The
+``/metrics`` endpoint returns :meth:`Telemetry.snapshot` as JSON — the
+e2e tests read cache hit/miss counters from it, and an operator can
+scrape it with curl.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional, Sequence
+
+__all__ = ["Telemetry", "LatencyHistogram"]
+
+# Upper bucket edges in seconds; chosen to resolve both sub-millisecond
+# cache hits and multi-second mining runs.
+DEFAULT_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0, float("inf")
+)
+
+
+class LatencyHistogram:
+    """Fixed-bucket histogram of observed durations (seconds)."""
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        self.buckets = tuple(buckets)
+        if list(self.buckets) != sorted(self.buckets):
+            raise ValueError("bucket edges must be ascending")
+        self.counts = [0] * len(self.buckets)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, seconds: float) -> None:
+        for index, edge in enumerate(self.buckets):
+            if seconds <= edge:
+                self.counts[index] += 1
+                break
+        self.total += seconds
+        self.count += 1
+
+    def as_dict(self) -> dict:
+        edges = [
+            "+inf" if edge == float("inf") else edge for edge in self.buckets
+        ]
+        return {
+            "count": self.count,
+            "sum_seconds": self.total,
+            "mean_seconds": self.total / self.count if self.count else 0.0,
+            "buckets": {
+                str(edge): count for edge, count in zip(edges, self.counts)
+            },
+        }
+
+
+class Telemetry:
+    """Thread-safe registry of counters and latency histograms."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._histograms: dict[str, LatencyHistogram] = {}
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to the named counter (created at zero)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one duration in the named histogram."""
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = LatencyHistogram()
+            histogram.observe(seconds)
+
+    def counter(self, name: str) -> int:
+        """Current value of a counter (0 if never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def snapshot(self, extra: Optional[dict] = None) -> dict:
+        """JSON-safe view of every counter and histogram."""
+        with self._lock:
+            payload = {
+                "counters": dict(sorted(self._counters.items())),
+                "latency": {
+                    name: histogram.as_dict()
+                    for name, histogram in sorted(self._histograms.items())
+                },
+            }
+        if extra:
+            payload.update(extra)
+        return payload

@@ -15,6 +15,20 @@ def dataset_files(tmp_path):
     return tmp_path / "ALL_train.tsv", tmp_path / "ALL_test.tsv"
 
 
+class TestNoSubcommand:
+    def test_no_subcommand_prints_usage_and_returns_2(self, capsys):
+        code = main([])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "usage:" in err
+
+    def test_serve_registered(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--help"])
+        assert excinfo.value.code == 0
+        assert "--models-dir" in capsys.readouterr().out
+
+
 class TestGenerate:
     def test_writes_both_splits(self, dataset_files):
         train_path, test_path = dataset_files
