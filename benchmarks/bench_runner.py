@@ -1,0 +1,19 @@
+#!/usr/bin/env python
+"""Run the core perf harness and write BENCH_core.json.
+
+Thin wrapper over :mod:`repro.bench` so the bench can run straight from
+a checkout (``python benchmarks/bench_runner.py --quick``) without
+installing the package; all options are forwarded unchanged.  The
+pytest-benchmark files next to this script cover paper-shape assertions;
+this runner owns the serial-vs-parallel trajectory file.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench import main  # noqa: E402 - path bootstrap above
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,7 +13,9 @@ Public surface:
 * :mod:`repro.experiments` -- drivers regenerating every table and figure
   of the paper's evaluation section;
 * :mod:`repro.service` -- embeddable serving layer (model registry,
-  mining cache, job queue, micro-batching, HTTP API; ``repro serve``).
+  mining cache, job queue, micro-batching, HTTP API; ``repro serve``);
+* :mod:`repro.parallel` -- process-pool mining backend (first-level
+  subtree sharding; ``n_jobs=`` on the miners, ``repro bench``).
 """
 
 from .core import (
@@ -22,6 +24,13 @@ from .core import (
     TopkResult,
     mine_topk,
     relative_minsup,
+)
+from .parallel import (
+    mine_farmer_parallel,
+    mine_topk_parallel,
+    mine_topk_sharded,
+    parallel_map,
+    results_equal,
 )
 from .core.lower_bounds import find_lower_bounds, find_lower_bounds_batch
 from .data import (
@@ -66,6 +75,11 @@ __all__ = [
     "generate_paper_dataset",
     "load_benchmark",
     "make_figure1_example",
+    "mine_farmer_parallel",
     "mine_topk",
+    "mine_topk_parallel",
+    "mine_topk_sharded",
+    "parallel_map",
     "relative_minsup",
+    "results_equal",
 ]

@@ -163,6 +163,7 @@ def mine_farmer(
     time_budget: Optional[float] = None,
     max_groups: Optional[int] = None,
     min_chi_square: float = 0.0,
+    n_jobs: int = 1,
 ) -> FarmerResult:
     """Mine all rule groups above the given thresholds.
 
@@ -179,11 +180,30 @@ def mine_farmer(
         max_groups: optional cap on emitted groups.
         min_chi_square: minimum chi-square statistic of reported groups
             (FARMER's third interestingness constraint); 0 disables.
+        n_jobs: worker processes; 1 mines serially, any other value
+            dispatches to :mod:`repro.parallel` (``None``/0 = all cores).
+            Output and group order are identical; ``node_budget`` then
+            applies per shard.
 
     Returns:
         A :class:`FarmerResult`; when a budget was exhausted it carries
         the groups found so far and ``stats.completed`` is False.
     """
+    if n_jobs != 1:
+        from ..parallel import mine_farmer_parallel
+
+        return mine_farmer_parallel(
+            dataset,
+            consequent,
+            minsup,
+            minconf=minconf,
+            engine=engine,
+            node_budget=node_budget,
+            time_budget=time_budget,
+            max_groups=max_groups,
+            min_chi_square=min_chi_square,
+            n_jobs=n_jobs,
+        )
     view = MiningView(dataset, consequent, minsup)
     policy = FarmerPolicy(
         view,

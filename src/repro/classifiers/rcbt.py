@@ -89,6 +89,11 @@ class RCBTClassifier(RuleBasedClassifier):
         use_voting: aggregate matching rules by score (paper behaviour);
             False falls back to first-match within each level, the
             ablation of Section 6.2's "collective decision" factor.
+        n_jobs: worker processes for the mining step; 1 mines each class
+            serially, any other value pools every class's enumeration
+            shards into one process pool via
+            :func:`repro.parallel.mine_topk_sharded` (``None``/0 = all
+            cores).  The fitted model is identical either way.
     """
 
     def __init__(
@@ -100,6 +105,7 @@ class RCBTClassifier(RuleBasedClassifier):
         max_lb_size: int = 6,
         max_lb_items: Optional[int] = None,
         use_voting: bool = True,
+        n_jobs: int = 1,
     ) -> None:
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
@@ -112,6 +118,7 @@ class RCBTClassifier(RuleBasedClassifier):
         self.max_lb_size = max_lb_size
         self.max_lb_items = max_lb_items
         self.use_voting = use_voting
+        self.n_jobs = n_jobs
         self.levels_: list[ClassifierLevel] = []
         self.default_class_: int = 0
         self._level_scores: list[dict[int, float]] = []
@@ -124,11 +131,32 @@ class RCBTClassifier(RuleBasedClassifier):
         scores = item_scores(train, gene_entropy_scores(train))
         self._class_counts = train.class_counts()
         self.topk_results_ = {}
-        for class_id in range(train.n_classes):
-            minsup = relative_minsup(train, class_id, self.minsup_fraction)
-            self.topk_results_[class_id] = mine_topk(
-                train, class_id, minsup, k=self.k, engine=self.engine
-            )
+        if self.n_jobs != 1:
+            # Pool every class's enumeration shards into one executor so
+            # workers stay busy even when class trees differ in size.
+            from ..parallel import MineRequest, mine_topk_sharded
+
+            requests = [
+                MineRequest(
+                    consequent=class_id,
+                    minsup=relative_minsup(
+                        train, class_id, self.minsup_fraction
+                    ),
+                    k=self.k,
+                    engine=self.engine,
+                )
+                for class_id in range(train.n_classes)
+            ]
+            for class_id, result in enumerate(
+                mine_topk_sharded(train, requests, n_jobs=self.n_jobs)
+            ):
+                self.topk_results_[class_id] = result
+        else:
+            for class_id in range(train.n_classes):
+                minsup = relative_minsup(train, class_id, self.minsup_fraction)
+                self.topk_results_[class_id] = mine_topk(
+                    train, class_id, minsup, k=self.k, engine=self.engine
+                )
 
         self.levels_ = []
         self._level_scores = []

@@ -10,6 +10,8 @@ Commands:
 * ``predict``    — apply a saved rule classifier to new samples;
 * ``serve``      — run the JSON-over-HTTP serving layer of
   :mod:`repro.service` (model registry, mining cache, async jobs);
+* ``bench``      — time serial vs. parallel mining on the synthetic
+  generators and write ``BENCH_core.json`` (see :mod:`repro.bench`);
 * ``experiments``— forward to the table/figure drivers.
 
 All file formats are the plain-text formats of :mod:`repro.data.loaders`
@@ -49,7 +51,8 @@ from .data.synthetic import PAPER_DATASETS, generate_paper_dataset
 __all__ = ["main"]
 
 _RULE_CLASSIFIERS = {
-    "rcbt": lambda args: RCBTClassifier(k=args.k, nl=args.nl),
+    "rcbt": lambda args: RCBTClassifier(k=args.k, nl=args.nl,
+                                        n_jobs=getattr(args, "jobs", 1)),
     "cba": lambda args: CBAClassifier(),
     "irg": lambda args: IRGClassifier(),
 }
@@ -96,7 +99,8 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         minsup = relative_minsup(dataset, args.consequent,
                                  args.minsup_fraction)
     result = mine_topk(
-        dataset, args.consequent, minsup, k=args.k, engine=args.engine
+        dataset, args.consequent, minsup, k=args.k, engine=args.engine,
+        n_jobs=args.jobs,
     )
     print(f"top-{args.k} covering rule groups "
           f"(consequent={dataset.class_names[args.consequent]}, "
@@ -180,12 +184,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         models_dir=args.models_dir,
         cache_bytes=args.cache_bytes,
         mining_workers=args.workers,
+        mine_jobs=args.mine_jobs,
     )
     registered = server.service.registry.names()
     if registered:
         print(f"warm started models: {', '.join(registered)}")
     print(f"serving on {server.url} (Ctrl-C to stop)")
     server.serve_forever()
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import run_bench, write_report
+
+    report = run_bench(
+        scale=args.scale,
+        jobs=tuple(args.jobs),
+        repeats=args.repeats,
+        quick=args.quick,
+    )
+    write_report(report, args.output)
+    for line in report.summary_lines():
+        print(line)
+    print(f"wrote {args.output}")
     return 0
 
 
@@ -232,6 +253,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="used when --minsup is not given")
     mine.add_argument("--engine", choices=("bitset", "table", "tree"),
                       default="bitset")
+    mine.add_argument("--jobs", type=int, default=1,
+                      help="worker processes for the mine (0 = all cores; "
+                           "output is identical to serial)")
     mine.set_defaults(handler=_cmd_mine)
 
     classify = commands.add_parser(
@@ -245,6 +269,9 @@ def build_parser() -> argparse.ArgumentParser:
     classify.add_argument("--nl", type=int, default=20)
     classify.add_argument("--kernel", choices=("linear", "poly"),
                           default="linear")
+    classify.add_argument("--jobs", type=int, default=1,
+                          help="worker processes for rcbt rule mining "
+                               "(0 = all cores)")
     classify.add_argument("--save", help="write the trained model (rcbt/cba) "
                                           "and its pipeline file here")
     classify.set_defaults(handler=_cmd_classify)
@@ -272,9 +299,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="byte bound of the mining result cache")
     serve.add_argument("--workers", type=int, default=2,
                        help="mining job worker threads")
+    serve.add_argument("--mine-jobs", type=int, default=1,
+                       help="worker processes each mining job may use "
+                            "(cap for per-request n_jobs)")
     serve.add_argument("--verbose", action="store_true",
                        help="log one line per request")
     serve.set_defaults(handler=_cmd_serve)
+
+    bench = commands.add_parser(
+        "bench", help="time serial vs parallel mining; write BENCH_core.json"
+    )
+    bench.add_argument("--output", default="BENCH_core.json",
+                       help="where to write the JSON report")
+    bench.add_argument("--jobs", type=int, nargs="+", default=[2, 4],
+                       help="parallel worker counts to measure")
+    bench.add_argument("--scale", type=float, default=0.25,
+                       help="gene-count scale of the synthetic workloads")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="timed repetitions per configuration (best "
+                            "wall-clock is reported)")
+    bench.add_argument("--quick", action="store_true",
+                       help="one small workload, one repeat — the CI "
+                            "smoke profile")
+    bench.set_defaults(handler=_cmd_bench)
 
     experiments = commands.add_parser(
         "experiments", help="run a table/figure driver"

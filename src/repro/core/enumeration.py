@@ -42,13 +42,25 @@ from dataclasses import dataclass
 from typing import Optional, Protocol, Sequence
 
 from ..errors import MiningBudgetExceeded
-from .bitset import bit, iter_indices, mask_below, popcount
+from .bitset import iter_indices, mask_below
 from .prefix_tree import PrefixTree
 from .view import MiningView
 
-__all__ = ["SearchPolicy", "MinerStats", "run_enumeration", "ENGINES"]
+__all__ = [
+    "SearchPolicy",
+    "MinerStats",
+    "run_enumeration",
+    "ENGINES",
+    "POLL_STRIDE",
+]
 
 ENGINES = ("bitset", "table", "tree")
+
+# Deadline/cancellation poll stride of the node budget, in enumeration
+# nodes.  Shared with the parallel workers of :mod:`repro.parallel` so a
+# cooperative stop lands within the same bounded number of nodes whether
+# a mine runs serially or sharded across processes.
+POLL_STRIDE = 64
 
 
 class _CancelToken(Protocol):
@@ -120,9 +132,10 @@ class _Budget:
     """Node-count, wall-clock and cancellation limits shared by all engines.
 
     ``cancel`` is any object with an ``is_set()`` method (typically a
-    :class:`threading.Event`); it is polled on the same 64-node stride as
-    the deadline so a long-running mine can be stopped cooperatively from
-    another thread (the service job queue relies on this).
+    :class:`threading.Event`); it is polled on the same
+    :data:`POLL_STRIDE`-node stride as the deadline so a long-running
+    mine can be stopped cooperatively from another thread (the service
+    job queue and the process-pool backend rely on this).
     """
 
     def __init__(
@@ -149,7 +162,7 @@ class _Budget:
             raise MiningBudgetExceeded(
                 f"node budget {self.node_budget} exceeded", self.stats
             )
-        if self.stats.nodes_visited % 64 == 0:
+        if self.stats.nodes_visited % POLL_STRIDE == 0:
             if self.deadline is not None and time.monotonic() > self.deadline:
                 self.stats.completed = False
                 raise MiningBudgetExceeded("time budget exceeded", self.stats)
@@ -165,6 +178,7 @@ def run_enumeration(
     node_budget: Optional[int] = None,
     time_budget: Optional[float] = None,
     cancel: Optional["_CancelToken"] = None,
+    first_rows: Optional[int] = None,
 ) -> MinerStats:
     """Depth-first walk of the row enumeration tree under ``policy``.
 
@@ -178,6 +192,12 @@ def run_enumeration(
         cancel: optional cancellation token (anything with ``is_set()``,
             e.g. a :class:`threading.Event`); when set mid-run the walk
             aborts like an exhausted budget.
+        first_rows: optional position bitset restricting which
+            *first-level* subtrees are expanded (``None`` expands all).
+            Skipped roots are not charged to the node budget.  Deeper
+            levels are never filtered, so mining every first row exactly
+            once across several calls partitions the full tree — the
+            sharding contract of :mod:`repro.parallel`.
 
     Returns:
         The :class:`MinerStats` of the completed run.  On budget overrun
@@ -188,11 +208,11 @@ def run_enumeration(
     start = time.monotonic()
     try:
         if engine == "bitset":
-            _walk_bitset(view, policy, stats, budget)
+            _walk_bitset(view, policy, stats, budget, first_rows)
         elif engine == "table":
-            _walk_table(view, policy, stats, budget)
+            _walk_table(view, policy, stats, budget, first_rows)
         elif engine == "tree":
-            _walk_tree(view, policy, stats, budget)
+            _walk_tree(view, policy, stats, budget, first_rows)
         else:
             raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
     except MiningBudgetExceeded as overrun:
@@ -207,34 +227,56 @@ def run_enumeration(
     return stats
 
 
-def _split_counts(view: MiningView, bits: int) -> tuple[int, int]:
-    """(positive, negative) row counts of a position bitset."""
-    positive = popcount(bits & view.positive_mask)
-    return positive, popcount(bits) - positive
-
-
 # ---------------------------------------------------------------------------
 # bitset engine
 # ---------------------------------------------------------------------------
 
 
 def _walk_bitset(
-    view: MiningView, policy: SearchPolicy, stats: MinerStats, budget: _Budget
+    view: MiningView,
+    policy: SearchPolicy,
+    stats: MinerStats,
+    budget: _Budget,
+    first_rows: Optional[int] = None,
 ) -> None:
     item_rows = view.item_rows
     row_items = view.row_items
     positive_mask = view.positive_mask
+    # Hot-path bindings: these are resolved once instead of per node.
+    bit_count = int.bit_count
+    charge_node = budget.charge_node
+    loose_prunable = policy.loose_prunable
+    tight_prunable = policy.tight_prunable
+    emit = policy.emit
 
-    def recurse(x_bits: int, items: Sequence[int], cand_bits: int) -> None:
+    def recurse(
+        x_bits: int,
+        x_p: int,
+        x_n: int,
+        items: Sequence[int],
+        cand_bits: int,
+        allowed: Optional[int],
+    ) -> None:
+        # The popcounts of `remaining` are maintained decrementally; the
+        # parent's (x_p, x_n) split travels down so seed counts are two
+        # additions instead of two fresh popcounts per node.
         remaining = cand_bits
+        rem_p = bit_count(cand_bits & positive_mask)
+        rem_n = bit_count(cand_bits) - rem_p
         for r in iter_indices(cand_bits):
-            budget.charge_node()
-            remaining &= ~bit(r)
-            seed_bits = x_bits | bit(r)
-            seed_p, seed_n = _split_counts(view, seed_bits)
-            r_p, r_n = _split_counts(view, remaining)
-            threshold_bits = (seed_bits | remaining) & positive_mask
-            if policy.loose_prunable(seed_p, seed_n, r_p, r_n, threshold_bits):
+            r_bit = 1 << r
+            remaining &= ~r_bit
+            if r_bit & positive_mask:
+                rem_p -= 1
+                seed_p, seed_n = x_p + 1, x_n
+            else:
+                rem_n -= 1
+                seed_p, seed_n = x_p, x_n + 1
+            if allowed is not None and not allowed & r_bit:
+                continue
+            charge_node()
+            threshold_bits = ((x_bits | r_bit) | remaining) & positive_mask
+            if loose_prunable(seed_p, seed_n, rem_p, rem_n, threshold_bits):
                 stats.loose_pruned += 1
                 continue
             present = row_items[r]
@@ -249,24 +291,25 @@ def _walk_bitset(
                 union |= rows
             # Backward pruning (step 7): a row before r outside X containing
             # I(X ∪ {r}) means this group was found in an earlier subtree.
-            if closure & mask_below(r) & ~x_bits:
+            if closure & (r_bit - 1) & ~x_bits:
                 stats.backward_pruned += 1
                 continue
             new_cand = remaining & union & ~closure
-            x_p, x_n = _split_counts(view, closure)
-            m_p = popcount(new_cand & positive_mask)
-            new_r_n = popcount(new_cand) - m_p
+            new_x_p = bit_count(closure & positive_mask)
+            new_x_n = bit_count(closure) - new_x_p
+            m_p = bit_count(new_cand & positive_mask)
+            new_r_n = bit_count(new_cand) - m_p
             new_threshold = (closure | new_cand) & positive_mask
-            if policy.tight_prunable(x_p, x_n, m_p, new_r_n, new_threshold):
+            if tight_prunable(new_x_p, new_x_n, m_p, new_r_n, new_threshold):
                 stats.tight_pruned += 1
                 continue
             stats.groups_emitted += 1
-            policy.emit(new_items, closure, x_p, x_n)
+            emit(new_items, closure, new_x_p, new_x_n)
             if new_cand:
-                recurse(closure, new_items, new_cand)
+                recurse(closure, new_x_p, new_x_n, new_items, new_cand, None)
 
     all_rows = mask_below(view.n_rows)
-    recurse(0, list(view.frequent_items), all_rows)
+    recurse(0, 0, 0, list(view.frequent_items), all_rows, first_rows)
 
 
 # ---------------------------------------------------------------------------
@@ -275,10 +318,19 @@ def _walk_bitset(
 
 
 def _walk_table(
-    view: MiningView, policy: SearchPolicy, stats: MinerStats, budget: _Budget
+    view: MiningView,
+    policy: SearchPolicy,
+    stats: MinerStats,
+    budget: _Budget,
+    first_rows: Optional[int] = None,
 ) -> None:
     positive_mask = view.positive_mask
     n_positive = view.n_positive
+    bit_count = int.bit_count
+    charge_node = budget.charge_node
+    loose_prunable = policy.loose_prunable
+    tight_prunable = policy.tight_prunable
+    emit = policy.emit
 
     # The root transposed table: one tuple per frequent item, carrying the
     # item's full ascending row list.  Projection passes tuple references
@@ -294,18 +346,31 @@ def _walk_table(
         x_n: int,
         tuples: list[tuple[int, list[int]]],
         cand: list[int],
+        allowed: Optional[int],
     ) -> None:
-        for index, r in enumerate(cand):
-            budget.charge_node()
-            rest = cand[index + 1 :]
-            r_p = sum(1 for row in rest if row < n_positive)
-            r_n = len(rest) - r_p
-            seed_p = x_p + (1 if r < n_positive else 0)
-            seed_n = x_n + (1 if r >= n_positive else 0)
-            threshold_bits = ((x_bits | bit(r)) & positive_mask) | sum(
-                bit(row) for row in rest if row < n_positive
-            )
-            if policy.loose_prunable(seed_p, seed_n, r_p, r_n, threshold_bits):
+        # Positive count/bitset of the not-yet-expanded candidates are
+        # maintained decrementally instead of being rescanned per node.
+        rest_p = 0
+        rest_pos_bits = 0
+        for row in cand:
+            if row < n_positive:
+                rest_p += 1
+                rest_pos_bits |= 1 << row
+        rest_n = len(cand) - rest_p
+        for r in cand:
+            r_bit = 1 << r
+            if r < n_positive:
+                rest_p -= 1
+                rest_pos_bits &= ~r_bit
+                seed_p, seed_n = x_p + 1, x_n
+            else:
+                rest_n -= 1
+                seed_p, seed_n = x_p, x_n + 1
+            if allowed is not None and not allowed & r_bit:
+                continue
+            charge_node()
+            threshold_bits = ((x_bits | r_bit) & positive_mask) | rest_pos_bits
+            if loose_prunable(seed_p, seed_n, rest_p, rest_n, threshold_bits):
                 stats.loose_pruned += 1
                 continue
             # Project: keep tuples whose row list contains r (bisect scan,
@@ -323,14 +388,14 @@ def _walk_table(
                 for row in rows:
                     freq[row] = freq.get(row, 0) + 1
             n_tuples = len(kept)
-            closure_rows = [row for row, count in freq.items() if count == n_tuples]
             closure = 0
             backward = False
-            for row in closure_rows:
-                if row < r and not x_bits >> row & 1:
-                    backward = True
-                    break
-                closure |= bit(row)
+            for row, count in freq.items():
+                if count == n_tuples:
+                    if row < r and not x_bits >> row & 1:
+                        backward = True
+                        break
+                    closure |= 1 << row
             if backward:
                 stats.backward_pruned += 1
                 continue
@@ -339,21 +404,25 @@ def _walk_table(
                 for row, count in freq.items()
                 if row > r and count < n_tuples
             )
-            new_x_p, new_x_n = _split_counts(view, closure)
-            m_p = sum(1 for row in new_cand if row < n_positive)
+            new_x_p = bit_count(closure & positive_mask)
+            new_x_n = bit_count(closure) - new_x_p
+            m_p = 0
+            new_cand_pos_bits = 0
+            for row in new_cand:
+                if row < n_positive:
+                    m_p += 1
+                    new_cand_pos_bits |= 1 << row
             new_r_n = len(new_cand) - m_p
-            new_threshold = (closure & positive_mask) | sum(
-                bit(row) for row in new_cand if row < n_positive
-            )
-            if policy.tight_prunable(new_x_p, new_x_n, m_p, new_r_n, new_threshold):
+            new_threshold = (closure & positive_mask) | new_cand_pos_bits
+            if tight_prunable(new_x_p, new_x_n, m_p, new_r_n, new_threshold):
                 stats.tight_pruned += 1
                 continue
             stats.groups_emitted += 1
-            policy.emit([item for item, _rows in kept], closure, new_x_p, new_x_n)
+            emit([item for item, _rows in kept], closure, new_x_p, new_x_n)
             if new_cand:
-                recurse(closure, new_x_p, new_x_n, kept, new_cand)
+                recurse(closure, new_x_p, new_x_n, kept, new_cand, None)
 
-    recurse(0, 0, 0, root_tuples, list(range(view.n_rows)))
+    recurse(0, 0, 0, root_tuples, list(range(view.n_rows)), first_rows)
 
 
 # ---------------------------------------------------------------------------
@@ -362,32 +431,55 @@ def _walk_table(
 
 
 def _walk_tree(
-    view: MiningView, policy: SearchPolicy, stats: MinerStats, budget: _Budget
+    view: MiningView,
+    policy: SearchPolicy,
+    stats: MinerStats,
+    budget: _Budget,
+    first_rows: Optional[int] = None,
 ) -> None:
     positive_mask = view.positive_mask
     n_positive = view.n_positive
     item_rows = view.item_rows
+    bit_count = int.bit_count
+    charge_node = budget.charge_node
+    loose_prunable = policy.loose_prunable
+    tight_prunable = policy.tight_prunable
+    emit = policy.emit
 
     root_tree = PrefixTree.from_items(
         (item, sorted(iter_indices(view.item_rows[item])))
         for item in view.frequent_items
     )
 
-    def recurse(x_bits: int, x_p: int, x_n: int, tree: PrefixTree) -> None:
+    def recurse(
+        x_bits: int, x_p: int, x_n: int, tree: PrefixTree, allowed: Optional[int]
+    ) -> None:
         # Rows absorbed into X by a closure step remain in the projected
         # tree's paths; they are not extension candidates.
         cand = [row for row in tree.rows_present() if not x_bits >> row & 1]
-        for index, r in enumerate(cand):
-            budget.charge_node()
-            rest = cand[index + 1 :]
-            r_p = sum(1 for row in rest if row < n_positive)
-            r_n = len(rest) - r_p
-            seed_p = x_p + (1 if r < n_positive else 0)
-            seed_n = x_n + (1 if r >= n_positive else 0)
-            threshold_bits = ((x_bits | bit(r)) & positive_mask) | sum(
-                bit(row) for row in rest if row < n_positive
-            )
-            if policy.loose_prunable(seed_p, seed_n, r_p, r_n, threshold_bits):
+        # Positive count/bitset of the not-yet-expanded candidates are
+        # maintained decrementally instead of being rescanned per node.
+        rest_p = 0
+        rest_pos_bits = 0
+        for row in cand:
+            if row < n_positive:
+                rest_p += 1
+                rest_pos_bits |= 1 << row
+        rest_n = len(cand) - rest_p
+        for r in cand:
+            r_bit = 1 << r
+            if r < n_positive:
+                rest_p -= 1
+                rest_pos_bits &= ~r_bit
+                seed_p, seed_n = x_p + 1, x_n
+            else:
+                rest_n -= 1
+                seed_p, seed_n = x_p, x_n + 1
+            if allowed is not None and not allowed & r_bit:
+                continue
+            charge_node()
+            threshold_bits = ((x_bits | r_bit) & positive_mask) | rest_pos_bits
+            if loose_prunable(seed_p, seed_n, rest_p, rest_n, threshold_bits):
                 stats.loose_pruned += 1
                 continue
             projected = tree.project(r)
@@ -401,25 +493,29 @@ def _walk_tree(
             closure = item_rows[new_items[0]]
             for item in new_items[1:]:
                 closure &= item_rows[item]
-            if closure & mask_below(r) & ~x_bits:
+            if closure & (r_bit - 1) & ~x_bits:
                 stats.backward_pruned += 1
                 continue
             freq = projected.row_frequencies()
             new_cand_rows = [
                 row for row in freq if not closure >> row & 1
             ]
-            new_x_p, new_x_n = _split_counts(view, closure)
-            m_p = sum(1 for row in new_cand_rows if row < n_positive)
+            new_x_p = bit_count(closure & positive_mask)
+            new_x_n = bit_count(closure) - new_x_p
+            m_p = 0
+            new_cand_pos_bits = 0
+            for row in new_cand_rows:
+                if row < n_positive:
+                    m_p += 1
+                    new_cand_pos_bits |= 1 << row
             new_r_n = len(new_cand_rows) - m_p
-            new_threshold = (closure & positive_mask) | sum(
-                bit(row) for row in new_cand_rows if row < n_positive
-            )
-            if policy.tight_prunable(new_x_p, new_x_n, m_p, new_r_n, new_threshold):
+            new_threshold = (closure & positive_mask) | new_cand_pos_bits
+            if tight_prunable(new_x_p, new_x_n, m_p, new_r_n, new_threshold):
                 stats.tight_pruned += 1
                 continue
             stats.groups_emitted += 1
-            policy.emit(new_items, closure, new_x_p, new_x_n)
+            emit(new_items, closure, new_x_p, new_x_n)
             if new_cand_rows:
-                recurse(closure, new_x_p, new_x_n, projected)
+                recurse(closure, new_x_p, new_x_n, projected, None)
 
-    recurse(0, 0, 0, root_tree)
+    recurse(0, 0, 0, root_tree, first_rows)

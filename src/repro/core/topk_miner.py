@@ -284,6 +284,7 @@ def mine_topk(
     node_budget: Optional[int] = None,
     time_budget: Optional[float] = None,
     cancel=None,
+    n_jobs: int = 1,
 ) -> TopkResult:
     """Mine the top-k covering rule groups of every consequent-class row.
 
@@ -303,12 +304,34 @@ def mine_topk(
         cancel: optional cancellation token (anything with ``is_set()``);
             when set mid-run the lists discovered so far are returned with
             ``stats.completed`` False, exactly like a budget overrun.
+        n_jobs: worker processes; 1 mines serially in this process, any
+            other value dispatches to :mod:`repro.parallel` (``None``/0 =
+            all cores).  The output is bit-identical either way; with
+            workers, ``node_budget`` applies per shard and ``stats`` node
+            counters are summed across shards (see DESIGN.md §7).
 
     Returns:
         A :class:`TopkResult` with per-row lists and run statistics.  When
         a budget was set and exhausted, the lists discovered so far are
         returned and ``stats.completed`` is False.
     """
+    if n_jobs != 1:
+        from ..parallel import mine_topk_parallel
+
+        return mine_topk_parallel(
+            dataset,
+            consequent,
+            minsup,
+            k=k,
+            engine=engine,
+            initialize_single_items=initialize_single_items,
+            dynamic_minsup=dynamic_minsup,
+            use_topk_pruning=use_topk_pruning,
+            node_budget=node_budget,
+            time_budget=time_budget,
+            cancel=cancel,
+            n_jobs=n_jobs,
+        )
     view = MiningView(dataset, consequent, minsup)
     policy = TopkPolicy(
         view,

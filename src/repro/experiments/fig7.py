@@ -3,16 +3,21 @@
 Sweeps ``nl`` for RCBT on the ALL- and LC-shaped datasets (the two the
 paper plots).  The published curves are flat for nl ≳ 15 — the committee
 saturates — and that insensitivity is the claim this driver checks.
+
+``--jobs`` additionally fits each point through the process-pool mining
+backend and reports serial vs. parallel build wall-clock side by side
+(the fitted models are identical, so accuracy is measured once).
 """
 
 from __future__ import annotations
 
 import argparse
+import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from ..classifiers import RCBTClassifier
-from .harness import DATASET_NAMES, prepare, render_table
+from .harness import DATASET_NAMES, format_seconds, prepare, render_table
 
 __all__ = ["Fig7Result", "run", "render", "main"]
 
@@ -21,10 +26,19 @@ DEFAULT_NL_VALUES = (1, 5, 10, 15, 20, 25)
 
 @dataclass
 class Fig7Result:
-    """Accuracy per dataset per nl value."""
+    """Accuracy per dataset per nl value.
+
+    ``timings`` holds per-point build wall-clock as ``(nl, serial
+    seconds, parallel seconds or None)``; parallel entries are filled
+    only when :func:`run` is given ``n_jobs`` != 1.
+    """
 
     curves: dict[str, list[tuple[int, float]]] = field(default_factory=dict)
+    timings: dict[str, list[tuple[int, float, Optional[float]]]] = field(
+        default_factory=dict
+    )
     k: int = 10
+    n_jobs: int = 1
 
 
 def run(
@@ -33,18 +47,32 @@ def run(
     nl_values: Sequence[int] = DEFAULT_NL_VALUES,
     k: int = 10,
     minsup_fraction: float = 0.7,
+    n_jobs: int = 1,
 ) -> Fig7Result:
-    """Fit RCBT at each nl and record test accuracy."""
-    result = Fig7Result(k=k)
+    """Fit RCBT at each nl and record test accuracy (and build times)."""
+    result = Fig7Result(k=k, n_jobs=n_jobs)
     for name in datasets:
         benchmark = prepare(name, scale)
         curve = []
+        timings = []
         for nl in nl_values:
+            start = time.perf_counter()
             model = RCBTClassifier(
                 k=k, nl=nl, minsup_fraction=minsup_fraction
             ).fit(benchmark.train_items)
+            serial_seconds = time.perf_counter() - start
+            parallel_seconds: Optional[float] = None
+            if n_jobs != 1:
+                start = time.perf_counter()
+                RCBTClassifier(
+                    k=k, nl=nl, minsup_fraction=minsup_fraction,
+                    n_jobs=n_jobs,
+                ).fit(benchmark.train_items)
+                parallel_seconds = time.perf_counter() - start
             curve.append((nl, model.score(benchmark.test_items)))
+            timings.append((nl, serial_seconds, parallel_seconds))
         result.curves[name] = curve
+        result.timings[name] = timings
     return result
 
 
@@ -57,9 +85,38 @@ def render(result: Fig7Result) -> str:
         body.append(
             [nl, *(f"{result.curves[d][index][1]:.2%}" for d in datasets)]
         )
-    return render_table(
-        headers, body, title=f"Figure 7 — RCBT accuracy vs nl (k={result.k})"
-    )
+    sections = [
+        render_table(
+            headers, body, title=f"Figure 7 — RCBT accuracy vs nl (k={result.k})"
+        )
+    ]
+    if result.timings:
+        jobs_label = f"{result.n_jobs}j" if result.n_jobs != 1 else None
+        time_headers = ["nl"]
+        for dataset in datasets:
+            time_headers.append(f"{dataset} serial")
+            if jobs_label:
+                time_headers.append(f"{dataset} [{jobs_label}]")
+        time_body = []
+        for index, nl in enumerate(nl_values):
+            row: list[object] = [nl]
+            for dataset in datasets:
+                _nl, serial_seconds, parallel_seconds = result.timings[dataset][index]
+                row.append(format_seconds(serial_seconds))
+                if jobs_label:
+                    row.append(
+                        format_seconds(parallel_seconds)
+                        if parallel_seconds is not None
+                        else "-"
+                    )
+            time_body.append(row)
+        sections.append(
+            render_table(
+                time_headers, time_body,
+                title="Figure 7 — RCBT build wall-clock",
+            )
+        )
+    return "\n\n".join(sections)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -70,9 +127,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--nl-values", nargs="+", type=int,
                         default=list(DEFAULT_NL_VALUES))
     parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="also time the classifier build on this many "
+                             "worker processes (0 = all cores)")
     args = parser.parse_args(argv)
     print(render(run(scale=args.scale, datasets=args.datasets,
-                     nl_values=args.nl_values, k=args.k)))
+                     nl_values=args.nl_values, k=args.k, n_jobs=args.jobs)))
     return 0
 
 

@@ -1,0 +1,565 @@
+"""Process-pool mining backend: first-level sharding of the enumeration tree.
+
+The row enumeration tree of Figure 2 is embarrassingly partitionable at
+its first level: every node lies in exactly one first-row subtree, and
+backward pruning guarantees each closed group is emitted only in the
+subtree of its smallest row.  This module exploits that invariant:
+
+* :func:`plan_shards` splits the first enumeration level into position
+  bitsets (singleton shards for the large early subtrees, contiguous
+  chunks for the long tail) that together cover every root exactly once;
+* each shard is mined in a worker process by a full
+  :class:`~repro.core.topk_miner.TopkPolicy` (or
+  :class:`~repro.baselines.farmer.FarmerPolicy`) restricted with
+  ``run_enumeration(..., first_rows=shard)``;
+* the per-shard results are merged in ascending shard order, which
+  reproduces the serial result *exactly* (bit-identical rule groups,
+  per-row lists and ordering) — the correctness argument is spelled out
+  in DESIGN.md §7.
+
+Why per-shard mining is conservative: a shard's :class:`TopkPolicy` is
+seeded from the same single-item ``TopKList`` initialization as the
+serial run, and its dynamic thresholds afterwards reflect only emissions
+from its own subtrees — a *subset* of what the serial run has seen by
+the corresponding node.  Offers only ever tighten thresholds, so every
+shard prunes at most what the serial run prunes and emits a superset of
+the serial emissions from its subtrees.  The final merge (offering each
+shard's list entries in ascending shard order into fresh seeded lists)
+then discards exactly the extras.
+
+Deviation: ``node_budget`` is applied per shard rather than globally (a
+shared atomic counter would serialize the workers); ``time_budget`` and
+``cancel`` are global, bridged into the workers through a shared event
+polled on the same :data:`~repro.core.enumeration.POLL_STRIDE` node
+stride as the serial budget checks.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable, Optional, Sequence
+
+from .baselines.farmer import FarmerPolicy, FarmerResult
+from .core.enumeration import POLL_STRIDE, MinerStats, run_enumeration
+from .core.topk_miner import TopkPolicy, TopkResult
+from .core.view import MiningView
+from .errors import MiningBudgetExceeded
+
+if TYPE_CHECKING:  # pragma: no cover - import is for annotations only
+    from .data.dataset import DiscretizedDataset
+
+__all__ = [
+    "MineRequest",
+    "FarmerRequest",
+    "resolve_n_jobs",
+    "plan_shards",
+    "merge_stats",
+    "mine_topk_sharded",
+    "mine_topk_parallel",
+    "mine_farmer_parallel",
+    "parallel_map",
+    "results_equal",
+]
+
+# How often (seconds) a worker re-reads the shared cancellation event.
+# The event lives in a multiprocessing semaphore, so probing it on every
+# POLL_STRIDE-node check would dominate small shards; the throttle bounds
+# the probe rate while keeping stop latency well under a second.
+_CANCEL_POLL_SECONDS = 0.05
+
+# How often (seconds) the parent watcher thread checks the user's cancel
+# token and the global deadline.
+_WATCH_INTERVAL_SECONDS = 0.02
+
+
+@dataclass(frozen=True)
+class MineRequest:
+    """One MineTopkRGS mining job, shardable across workers."""
+
+    consequent: int
+    minsup: int
+    k: int = 1
+    engine: str = "bitset"
+    initialize_single_items: bool = True
+    dynamic_minsup: bool = True
+    use_topk_pruning: bool = True
+    node_budget: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class FarmerRequest:
+    """One FARMER mining job, shardable across workers."""
+
+    consequent: int
+    minsup: int
+    minconf: float = 0.0
+    engine: str = "table"
+    node_budget: Optional[int] = None
+    max_groups: Optional[int] = None
+    min_chi_square: float = 0.0
+
+
+def resolve_n_jobs(n_jobs: Optional[int]) -> int:
+    """Translate a user ``n_jobs`` into a concrete worker count.
+
+    ``None`` or ``0`` mean "all cores"; negative values count back from
+    the core count (``-1`` = all cores, ``-2`` = all but one, the joblib
+    convention); positive values are used as given.
+    """
+    cores = os.cpu_count() or 1
+    if n_jobs is None or n_jobs == 0:
+        return cores
+    if n_jobs < 0:
+        return max(1, cores + 1 + n_jobs)
+    return n_jobs
+
+
+def plan_shards(n_rows: int, n_jobs: int) -> list[int]:
+    """Partition the first enumeration level into shard bitsets.
+
+    First-level subtrees shrink steeply with the root position (row ``r``
+    can only extend into rows after ``r``), so equal-width chunks would
+    leave one worker holding almost the whole tree.  Instead the first
+    ``2 * n_jobs`` roots become singleton shards (the big subtrees, each
+    individually schedulable) and the remaining roots are split into at
+    most ``2 * n_jobs`` contiguous chunks; the executor then balances the
+    shards dynamically.
+
+    Returns masks in ascending first-root order; their union is exactly
+    ``mask_below(n_rows)`` and they are pairwise disjoint — the invariant
+    the merge step relies on.
+    """
+    if n_rows <= 0:
+        return []
+    if n_jobs <= 1:
+        return [(1 << n_rows) - 1]
+    singles = min(n_rows, 2 * n_jobs)
+    masks = [1 << position for position in range(singles)]
+    rest = n_rows - singles
+    if rest > 0:
+        n_chunks = min(rest, 2 * n_jobs)
+        base, extra = divmod(rest, n_chunks)
+        start = singles
+        for index in range(n_chunks):
+            size = base + (1 if index < extra else 0)
+            masks.append(((1 << size) - 1) << start)
+            start += size
+    return masks
+
+
+def merge_stats(shard_stats: Sequence[MinerStats], engine: str) -> MinerStats:
+    """Combine per-shard counters into one :class:`MinerStats`.
+
+    Node/prune/emit counters sum; ``elapsed_seconds`` is the maximum
+    (shards overlap in wall-clock time); ``completed`` is the conjunction.
+    Note the summed ``nodes_visited`` of a dynamic-threshold top-k run is
+    >= the serial count: each shard starts from the seeded thresholds and
+    never benefits from groups found in other shards (DESIGN.md §7).
+    """
+    total = MinerStats(engine=engine)
+    for stats in shard_stats:
+        total.nodes_visited += stats.nodes_visited
+        total.groups_emitted += stats.groups_emitted
+        total.loose_pruned += stats.loose_pruned
+        total.tight_pruned += stats.tight_pruned
+        total.backward_pruned += stats.backward_pruned
+        total.elapsed_seconds = max(total.elapsed_seconds, stats.elapsed_seconds)
+        total.completed = total.completed and stats.completed
+    return total
+
+
+class _ThrottledEvent:
+    """Rate-limited ``is_set()`` view of a multiprocessing event.
+
+    The enumeration budget polls its cancel token every
+    :data:`POLL_STRIDE` nodes; going through to the OS semaphore each
+    time would be slower than the node expansion itself.  Once set, the
+    answer is latched.
+    """
+
+    __slots__ = ("_event", "_interval", "_next_check", "_set")
+
+    def __init__(self, event, interval: float = _CANCEL_POLL_SECONDS) -> None:
+        self._event = event
+        self._interval = interval
+        self._next_check = 0.0
+        self._set = False
+
+    def is_set(self) -> bool:
+        if self._set:
+            return True
+        now = time.monotonic()
+        if now < self._next_check:
+            return False
+        self._next_check = now + self._interval
+        self._set = self._event.is_set()
+        return self._set
+
+
+# -- worker side -------------------------------------------------------------
+
+# Populated by _init_worker in each pool process.  The dataset and the
+# shared cancel event travel once through the initializer instead of with
+# every task; views are memoized because every shard of one request needs
+# the same (deterministically constructed) view.
+_WORKER: dict = {}
+
+
+def _init_worker(dataset: "DiscretizedDataset", cancel_event) -> None:
+    _WORKER["dataset"] = dataset
+    _WORKER["cancel"] = (
+        _ThrottledEvent(cancel_event) if cancel_event is not None else None
+    )
+    _WORKER["views"] = {}
+
+
+def _worker_view(consequent: int, minsup: int) -> MiningView:
+    key = (consequent, minsup)
+    view = _WORKER["views"].get(key)
+    if view is None:
+        view = MiningView(_WORKER["dataset"], consequent, minsup)
+        _WORKER["views"][key] = view
+    return view
+
+
+def _run_shard(kind: str, request, shard_mask: int):
+    """Mine one shard; returns (payload, stats) in position space.
+
+    ``payload`` is a list of per-position group lists for top-k requests
+    and a flat group list for FARMER requests.  Groups stay in position
+    space — the parent translates to row ids once, after merging.
+    """
+    view = _worker_view(request.consequent, request.minsup)
+    cancel = _WORKER["cancel"]
+    if kind == "topk":
+        policy = TopkPolicy(
+            view,
+            request.k,
+            initialize_single_items=request.initialize_single_items,
+            dynamic_minsup=request.dynamic_minsup,
+            use_topk_pruning=request.use_topk_pruning,
+        )
+    else:
+        policy = FarmerPolicy(
+            view,
+            minconf=request.minconf,
+            max_groups=request.max_groups,
+            min_chi_square=request.min_chi_square,
+        )
+    try:
+        stats = run_enumeration(
+            view,
+            policy,
+            engine=request.engine,
+            node_budget=request.node_budget,
+            cancel=cancel,
+            first_rows=shard_mask,
+        )
+    except MiningBudgetExceeded as overrun:
+        stats = overrun.stats
+    if kind == "topk":
+        return [list(topk.groups) for topk in policy.lists], stats
+    return list(policy.groups), stats
+
+
+# -- parent side -------------------------------------------------------------
+
+
+def _mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def _execute(
+    dataset: "DiscretizedDataset",
+    jobs: Sequence[tuple[str, object, int]],
+    n_jobs: int,
+    time_budget: Optional[float] = None,
+    cancel=None,
+) -> list[tuple[object, MinerStats]]:
+    """Run ``(kind, request, shard_mask)`` jobs on a process pool.
+
+    Results come back in submission order.  ``time_budget`` / ``cancel``
+    are bridged to the workers through a shared event set by a watcher
+    thread in this process; workers poll it cooperatively and return
+    their partial results with ``stats.completed`` False.
+    """
+    if not jobs:
+        return []
+    ctx = _mp_context()
+    event = ctx.Event() if (time_budget is not None or cancel is not None) else None
+    watcher: Optional[threading.Thread] = None
+    stop_watching = threading.Event()
+    if event is not None:
+        deadline = (
+            time.monotonic() + time_budget if time_budget is not None else None
+        )
+        if cancel is not None and cancel.is_set():
+            event.set()
+
+        def _watch() -> None:
+            while not stop_watching.wait(_WATCH_INTERVAL_SECONDS):
+                if cancel is not None and cancel.is_set():
+                    event.set()
+                    return
+                if deadline is not None and time.monotonic() > deadline:
+                    event.set()
+                    return
+
+        watcher = threading.Thread(
+            target=_watch, name="repro-parallel-watch", daemon=True
+        )
+        watcher.start()
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(n_jobs, len(jobs)),
+            mp_context=ctx,
+            initializer=_init_worker,
+            initargs=(dataset, event),
+        ) as pool:
+            futures = [
+                pool.submit(_run_shard, kind, request, shard_mask)
+                for kind, request, shard_mask in jobs
+            ]
+            return [future.result() for future in futures]
+    finally:
+        stop_watching.set()
+        if watcher is not None:
+            watcher.join()
+
+
+def _merge_topk(
+    dataset: "DiscretizedDataset",
+    request: MineRequest,
+    shard_outputs: Sequence[tuple[list, MinerStats]],
+) -> TopkResult:
+    """Fold per-shard top-k lists into the exact serial result.
+
+    Offers must happen in ascending shard order: serial DFS visits the
+    shards' subtrees in exactly that order, and ``TopKList`` breaks
+    confidence/support ties by insertion order, so any other merge order
+    could flip a tie against the serial result.
+    """
+    view = MiningView(dataset, request.consequent, request.minsup)
+    policy = TopkPolicy(
+        view,
+        request.k,
+        initialize_single_items=request.initialize_single_items,
+        dynamic_minsup=False,
+        use_topk_pruning=request.use_topk_pruning,
+    )
+    for lists, _stats in shard_outputs:
+        for position, groups in enumerate(lists):
+            target = policy.lists[position]
+            for group in groups:
+                target.offer(group)
+    stats = merge_stats([stats for _lists, stats in shard_outputs], request.engine)
+    return TopkResult(
+        per_row=policy.finalize(),
+        consequent=request.consequent,
+        minsup=request.minsup,
+        k=request.k,
+        stats=stats,
+    )
+
+
+def mine_topk_sharded(
+    dataset: "DiscretizedDataset",
+    requests: Sequence[MineRequest],
+    n_jobs: Optional[int] = None,
+    time_budget: Optional[float] = None,
+    cancel=None,
+) -> list[TopkResult]:
+    """Mine several top-k requests at once, pooling their shards.
+
+    This is the engine behind per-class classifier parallelism: RCBT
+    needs one mine per class, and pooling all classes' shards into a
+    single executor keeps every worker busy even when one class's tree
+    is much larger than another's.
+
+    Returns one :class:`TopkResult` per request, in request order; each
+    is bit-identical to the corresponding serial :func:`mine_topk` call.
+    """
+    n_workers = resolve_n_jobs(n_jobs)
+    if n_workers <= 1:
+        from .core.topk_miner import mine_topk
+
+        return [
+            mine_topk(
+                dataset,
+                request.consequent,
+                request.minsup,
+                k=request.k,
+                engine=request.engine,
+                initialize_single_items=request.initialize_single_items,
+                dynamic_minsup=request.dynamic_minsup,
+                use_topk_pruning=request.use_topk_pruning,
+                node_budget=request.node_budget,
+                time_budget=time_budget,
+                cancel=cancel,
+            )
+            for request in requests
+        ]
+    jobs: list[tuple[str, object, int]] = []
+    spans: list[tuple[int, int]] = []
+    for request in requests:
+        view = MiningView(dataset, request.consequent, request.minsup)
+        shards = plan_shards(view.n_rows, n_workers)
+        spans.append((len(jobs), len(jobs) + len(shards)))
+        jobs.extend(("topk", request, mask) for mask in shards)
+    outputs = _execute(dataset, jobs, n_workers, time_budget, cancel)
+    return [
+        _merge_topk(dataset, request, outputs[start:stop])
+        for request, (start, stop) in zip(requests, spans)
+    ]
+
+
+def mine_topk_parallel(
+    dataset: "DiscretizedDataset",
+    consequent: int,
+    minsup: int,
+    k: int = 1,
+    engine: str = "bitset",
+    initialize_single_items: bool = True,
+    dynamic_minsup: bool = True,
+    use_topk_pruning: bool = True,
+    node_budget: Optional[int] = None,
+    time_budget: Optional[float] = None,
+    cancel=None,
+    n_jobs: Optional[int] = None,
+) -> TopkResult:
+    """Parallel :func:`~repro.core.topk_miner.mine_topk` — same signature
+    plus ``n_jobs``, bit-identical output."""
+    request = MineRequest(
+        consequent=consequent,
+        minsup=minsup,
+        k=k,
+        engine=engine,
+        initialize_single_items=initialize_single_items,
+        dynamic_minsup=dynamic_minsup,
+        use_topk_pruning=use_topk_pruning,
+        node_budget=node_budget,
+    )
+    return mine_topk_sharded(
+        dataset, [request], n_jobs=n_jobs, time_budget=time_budget, cancel=cancel
+    )[0]
+
+
+def mine_farmer_parallel(
+    dataset: "DiscretizedDataset",
+    consequent: int,
+    minsup: int,
+    minconf: float = 0.0,
+    engine: str = "table",
+    node_budget: Optional[int] = None,
+    time_budget: Optional[float] = None,
+    max_groups: Optional[int] = None,
+    min_chi_square: float = 0.0,
+    n_jobs: Optional[int] = None,
+    cancel=None,
+) -> FarmerResult:
+    """Parallel :func:`~repro.baselines.farmer.mine_farmer`.
+
+    FARMER's thresholds are static, so shards are independent and the
+    merge is a concatenation in ascending shard order — exactly the
+    serial emission (DFS) order.  ``max_groups`` caps each shard, and the
+    merged list is truncated to the serial stopping point.
+    """
+    n_workers = resolve_n_jobs(n_jobs)
+    if n_workers <= 1:
+        from .baselines.farmer import mine_farmer
+
+        return mine_farmer(
+            dataset,
+            consequent,
+            minsup,
+            minconf=minconf,
+            engine=engine,
+            node_budget=node_budget,
+            time_budget=time_budget,
+            max_groups=max_groups,
+            min_chi_square=min_chi_square,
+        )
+    request = FarmerRequest(
+        consequent=consequent,
+        minsup=minsup,
+        minconf=minconf,
+        engine=engine,
+        node_budget=node_budget,
+        max_groups=max_groups,
+        min_chi_square=min_chi_square,
+    )
+    view = MiningView(dataset, consequent, minsup)
+    shards = plan_shards(view.n_rows, n_workers)
+    jobs = [("farmer", request, mask) for mask in shards]
+    outputs = _execute(dataset, jobs, n_workers, time_budget, cancel)
+    merged: list = []
+    for groups, _stats in outputs:
+        merged.extend(groups)
+    stats = merge_stats([stats for _groups, stats in outputs], engine)
+    if max_groups is not None and len(merged) > max_groups:
+        # Serial FARMER raises after emitting one group past the cap; keep
+        # the identical prefix of the DFS emission order.
+        merged = merged[: max_groups + 1]
+        stats.completed = False
+    policy = FarmerPolicy(
+        view, minconf=minconf, max_groups=None, min_chi_square=min_chi_square
+    )
+    policy.groups = merged
+    return FarmerResult(
+        groups=policy.finalize(),
+        consequent=consequent,
+        minsup=minsup,
+        minconf=minconf,
+        stats=stats,
+    )
+
+
+def parallel_map(
+    fn: Callable,
+    items: Iterable,
+    n_jobs: Optional[int] = None,
+) -> list:
+    """Order-preserving process map for coarse-grained work (e.g. CV folds).
+
+    ``fn`` must be picklable (a module-level function).  With one worker
+    (or one item) the map runs inline, so callers can pass user-facing
+    ``n_jobs`` straight through.
+    """
+    work = list(items)
+    n_workers = min(resolve_n_jobs(n_jobs), max(1, len(work)))
+    if n_workers <= 1 or len(work) <= 1:
+        return [fn(item) for item in work]
+    with ProcessPoolExecutor(max_workers=n_workers, mp_context=_mp_context()) as pool:
+        return list(pool.map(fn, work))
+
+
+def results_equal(a: TopkResult, b: TopkResult) -> bool:
+    """True iff two mining results are bit-identical.
+
+    Compares the full per-row structure — row ids, list order, and every
+    group's antecedent, consequent, row set, support and confidence.
+    Used by the bench harness and tests to assert the parallel backend
+    reproduces the serial result exactly.
+    """
+    if a.per_row.keys() != b.per_row.keys():
+        return False
+    for row, groups in a.per_row.items():
+        other = b.per_row[row]
+        if len(groups) != len(other):
+            return False
+        for left, right in zip(groups, other):
+            if (
+                left.antecedent != right.antecedent
+                or left.consequent != right.consequent
+                or left.row_set != right.row_set
+                or left.support != right.support
+                or left.confidence != right.confidence
+            ):
+                return False
+    return True

@@ -94,6 +94,12 @@ class RuleService:
             starts from it.
         cache_bytes: byte bound of the mining cache.
         mining_workers: worker threads of the mining job queue.
+        mine_jobs: worker *processes* each mining job may use (the cap
+            for per-request ``n_jobs``).  1 keeps mining in the job
+            thread; more hands the enumeration to the process-pool
+            backend of :mod:`repro.parallel`, so CPU-bound mining no
+            longer serializes behind the GIL.  Results are bit-identical
+            either way, so the mining cache key is unaffected.
         node_budget / time_budget: default per-job mining budgets
             (overridable per request).
         batch_rows / batch_delay: micro-batching knobs for classify.
@@ -104,14 +110,18 @@ class RuleService:
         models_dir: Optional[str] = None,
         cache_bytes: int = 64 * 1024 * 1024,
         mining_workers: int = 2,
+        mine_jobs: int = 1,
         node_budget: Optional[int] = 2_000_000,
         time_budget: Optional[float] = 300.0,
         batch_rows: int = 256,
         batch_delay: float = 0.002,
     ) -> None:
+        if mine_jobs < 1:
+            raise ValueError(f"mine_jobs must be >= 1, got {mine_jobs}")
         self.registry = ModelRegistry(models_dir)
         self.cache = MiningCache(cache_bytes)
         self.jobs = JobQueue(workers=mining_workers)
+        self.mine_jobs = mine_jobs
         self.telemetry = Telemetry()
         self.node_budget = node_budget
         self.time_budget = time_budget
@@ -315,6 +325,15 @@ class RuleService:
 
         node_budget = body.get("node_budget", self.node_budget)
         time_budget = body.get("time_budget", self.time_budget)
+        try:
+            n_jobs = int(body.get("n_jobs", self.mine_jobs))
+        except (TypeError, ValueError):
+            raise ServiceError(400, "'n_jobs' must be an integer")
+        if n_jobs < 1:
+            raise ServiceError(400, f"n_jobs must be >= 1, got {n_jobs}")
+        # Cap per-request parallelism at the operator's configuration so
+        # one client cannot fan a single job out over every core.
+        n_jobs = min(n_jobs, self.mine_jobs)
 
         with self._lock:
             inflight_id = self._inflight.get(key)
@@ -338,7 +357,7 @@ class RuleService:
                 result = mine_topk(
                     dataset, consequent, minsup, k=k, engine=engine,
                     node_budget=node_budget, time_budget=time_budget,
-                    cancel=job.cancel_event,
+                    cancel=job.cancel_event, n_jobs=n_jobs,
                 )
                 if result.stats.completed:
                     self.cache.put(key, result)

@@ -11,6 +11,7 @@ scrape it with curl.
 from __future__ import annotations
 
 import threading
+from bisect import bisect_left
 from typing import Optional, Sequence
 
 __all__ = ["Telemetry", "LatencyHistogram"]
@@ -32,14 +33,19 @@ class LatencyHistogram:
         self.counts = [0] * len(self.buckets)
         self.total = 0.0
         self.count = 0
+        self.max_seconds = 0.0
 
     def observe(self, seconds: float) -> None:
-        for index, edge in enumerate(self.buckets):
-            if seconds <= edge:
-                self.counts[index] += 1
-                break
+        # Called on every request: binary-search the ascending edges
+        # instead of scanning them.  bisect_left finds the first edge
+        # >= seconds, preserving the "seconds <= edge" bucket rule.
+        index = bisect_left(self.buckets, seconds)
+        if index < len(self.counts):
+            self.counts[index] += 1
         self.total += seconds
         self.count += 1
+        if seconds > self.max_seconds:
+            self.max_seconds = seconds
 
     def as_dict(self) -> dict:
         edges = [
@@ -49,6 +55,7 @@ class LatencyHistogram:
             "count": self.count,
             "sum_seconds": self.total,
             "mean_seconds": self.total / self.count if self.count else 0.0,
+            "max_seconds": self.max_seconds,
             "buckets": {
                 str(edge): count for edge, count in zip(edges, self.counts)
             },

@@ -1,0 +1,335 @@
+"""The process-pool backend must reproduce serial mining bit for bit.
+
+The sharding invariant (DESIGN.md §7): first-level subtrees partition
+the enumeration tree, per-shard thresholds seeded from the single-item
+initialization are conservative, and a merge in ascending shard order
+restores the exact serial result — rule groups, per-row list order, and
+(for static-threshold configurations) the stats counters too.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.baselines.farmer import mine_farmer
+from repro.classifiers import RCBTClassifier
+from repro.core.enumeration import ENGINES, POLL_STRIDE
+from repro.core.topk_miner import mine_topk
+from repro.parallel import (
+    MineRequest,
+    merge_stats,
+    mine_farmer_parallel,
+    mine_topk_parallel,
+    mine_topk_sharded,
+    parallel_map,
+    plan_shards,
+    resolve_n_jobs,
+    results_equal,
+)
+
+
+def _farmer_groups(result):
+    return [
+        (g.antecedent, g.consequent, g.row_set, g.support, g.confidence)
+        for g in result.groups
+    ]
+
+
+class TestPlanShards:
+    @pytest.mark.parametrize("n_rows", (0, 1, 3, 10, 38, 65))
+    @pytest.mark.parametrize("n_jobs", (1, 2, 4, 7))
+    def test_partition(self, n_rows, n_jobs):
+        """Shards are disjoint, ascending, and cover every first row."""
+        masks = plan_shards(n_rows, n_jobs)
+        union = 0
+        previous_low = -1
+        for mask in masks:
+            assert mask > 0
+            assert union & mask == 0
+            low = (mask & -mask).bit_length() - 1
+            assert low > previous_low
+            previous_low = low
+            union |= mask
+        assert union == (1 << n_rows) - 1
+
+    def test_serial_is_one_shard(self):
+        assert plan_shards(12, 1) == [(1 << 12) - 1]
+
+    def test_big_roots_are_singletons(self):
+        masks = plan_shards(64, 4)
+        singles = [mask for mask in masks if mask.bit_count() == 1]
+        assert len(singles) == 8  # 2 * n_jobs
+        assert singles == [1 << position for position in range(8)]
+
+
+class TestResolveNJobs:
+    def test_values(self):
+        import os
+
+        cores = os.cpu_count() or 1
+        assert resolve_n_jobs(1) == 1
+        assert resolve_n_jobs(3) == 3
+        assert resolve_n_jobs(None) == cores
+        assert resolve_n_jobs(0) == cores
+        assert resolve_n_jobs(-1) == cores
+        assert resolve_n_jobs(-10_000) == 1
+
+
+class TestTopkDeterminism:
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("n_jobs", (2, 3))
+    def test_figure1_all_engines(self, figure1, engine, n_jobs):
+        for k in (1, 3):
+            serial = mine_topk(figure1, 1, 2, k=k, engine=engine)
+            parallel = mine_topk_parallel(
+                figure1, 1, 2, k=k, engine=engine, n_jobs=n_jobs
+            )
+            assert results_equal(serial, parallel)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_small_random_both_classes(self, small_random, engine):
+        for consequent in (0, 1):
+            serial = mine_topk(small_random, consequent, 2, k=4, engine=engine)
+            parallel = mine_topk(
+                small_random, consequent, 2, k=4, engine=engine, n_jobs=3
+            )
+            assert results_equal(serial, parallel)
+
+    @pytest.mark.parametrize(
+        "flags",
+        (
+            {"initialize_single_items": False},
+            {"dynamic_minsup": False},
+            {"use_topk_pruning": False},
+            {
+                "initialize_single_items": False,
+                "dynamic_minsup": False,
+                "use_topk_pruning": False,
+            },
+        ),
+    )
+    def test_optimization_flags(self, small_random, flags):
+        serial = mine_topk(small_random, 0, 2, k=3, **flags)
+        parallel = mine_topk(small_random, 0, 2, k=3, n_jobs=4, **flags)
+        assert results_equal(serial, parallel)
+
+    def test_benchmark_workload(self, small_benchmark):
+        train = small_benchmark.train_items
+        serial = mine_topk(train, 1, 25, k=10, engine="bitset")
+        parallel = mine_topk(train, 1, 25, k=10, engine="bitset", n_jobs=4)
+        assert results_equal(serial, parallel)
+        # Group-level totals survive the merge too.
+        assert [g.row_set for g in serial.unique_groups()] == [
+            g.row_set for g in parallel.unique_groups()
+        ]
+
+    def test_static_config_stats_identical(self, small_random):
+        """With static thresholds, shard node counts sum to the serial count.
+
+        Dynamic thresholds make per-shard pruning weaker than serial
+        pruning (each shard only sees its own emissions), so node counts
+        are only comparable when both dynamic mechanisms are off.
+        """
+        kwargs = dict(k=3, use_topk_pruning=False, dynamic_minsup=False)
+        serial = mine_topk(small_random, 0, 2, **kwargs)
+        parallel = mine_topk(small_random, 0, 2, n_jobs=4, **kwargs)
+        assert serial.stats.nodes_visited == parallel.stats.nodes_visited
+        assert serial.stats.groups_emitted == parallel.stats.groups_emitted
+        assert serial.stats.loose_pruned == parallel.stats.loose_pruned
+        assert serial.stats.tight_pruned == parallel.stats.tight_pruned
+        assert serial.stats.backward_pruned == parallel.stats.backward_pruned
+
+
+class TestFarmerDeterminism:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_groups_and_stats_identical(self, small_random, engine):
+        serial = mine_farmer(small_random, 1, 2, engine=engine)
+        parallel = mine_farmer(small_random, 1, 2, engine=engine, n_jobs=4)
+        assert _farmer_groups(serial) == _farmer_groups(parallel)
+        # FARMER's thresholds are static, so even the node counters are
+        # exactly the serial ones after summing over shards.
+        assert serial.stats.nodes_visited == parallel.stats.nodes_visited
+        assert serial.stats.groups_emitted == parallel.stats.groups_emitted
+
+    def test_minconf(self, small_random):
+        serial = mine_farmer(small_random, 1, 2, minconf=0.8)
+        parallel = mine_farmer(small_random, 1, 2, minconf=0.8, n_jobs=3)
+        assert _farmer_groups(serial) == _farmer_groups(parallel)
+
+    def test_max_groups_truncates_at_serial_point(self, small_random):
+        serial = mine_farmer(small_random, 1, 2, max_groups=4)
+        parallel = mine_farmer(small_random, 1, 2, max_groups=4, n_jobs=3)
+        assert _farmer_groups(serial) == _farmer_groups(parallel)
+        assert not serial.stats.completed
+        assert not parallel.stats.completed
+
+
+class TestPartialResults:
+    def test_preset_cancel_returns_partial(self, small_benchmark):
+        token = threading.Event()
+        token.set()
+        result = mine_topk(
+            small_benchmark.train_items, 1, 25, k=5, n_jobs=2, cancel=token
+        )
+        assert not result.stats.completed
+        # The cooperative stop lands within POLL_STRIDE nodes per shard.
+        assert result.stats.nodes_visited <= POLL_STRIDE * len(
+            plan_shards(small_benchmark.train_items.n_rows, 2)
+        )
+
+    def test_node_budget_is_per_shard(self, small_benchmark):
+        result = mine_topk(
+            small_benchmark.train_items, 1, 25, k=5, n_jobs=2, node_budget=5
+        )
+        assert not result.stats.completed
+        # Partial lists are still well-formed per-row lists.
+        assert all(
+            len(groups) <= 5 for groups in result.per_row.values()
+        )
+
+    def test_cancel_mid_run(self, small_benchmark):
+        token = threading.Event()
+        timer = threading.Timer(0.05, token.set)
+        timer.start()
+        try:
+            result = mine_topk(
+                small_benchmark.train_items, 1, 25, k=10, n_jobs=2,
+                cancel=token,
+            )
+        finally:
+            timer.cancel()
+        # Either the mine beat the timer (completed) or it was stopped
+        # cooperatively and returned a partial result; both are valid.
+        assert isinstance(result.stats.completed, bool)
+
+
+class TestShardedRequests:
+    def test_multiple_requests_match_serial(self, small_random):
+        requests = [
+            MineRequest(consequent=0, minsup=2, k=3),
+            MineRequest(consequent=1, minsup=2, k=2),
+        ]
+        sharded = mine_topk_sharded(small_random, requests, n_jobs=3)
+        for request, result in zip(requests, sharded):
+            serial = mine_topk(
+                small_random, request.consequent, request.minsup, k=request.k
+            )
+            assert results_equal(serial, result)
+
+    def test_n_jobs_one_runs_inline(self, small_random):
+        requests = [MineRequest(consequent=0, minsup=2, k=2)]
+        (result,) = mine_topk_sharded(small_random, requests, n_jobs=1)
+        serial = mine_topk(small_random, 0, 2, k=2)
+        assert results_equal(serial, result)
+
+
+class TestClassifierParallel:
+    def test_rcbt_fit_identical(self, small_benchmark):
+        train = small_benchmark.train_items
+        test = small_benchmark.test_items
+        serial = RCBTClassifier(k=3, nl=3).fit(train)
+        parallel = RCBTClassifier(k=3, nl=3, n_jobs=2).fit(train)
+        for class_id in serial.topk_results_:
+            assert results_equal(
+                serial.topk_results_[class_id],
+                parallel.topk_results_[class_id],
+            )
+        assert serial.predict(test) == parallel.predict(test)
+        assert serial.n_levels_ == parallel.n_levels_
+
+
+class TestServiceParallelMining:
+    def test_mine_job_with_n_jobs_matches_serial(self, small_random):
+        """A service configured with worker processes serves the same
+        payload as a serial one, from the same cache key."""
+        from repro.data.loaders import discretized_to_payload
+        from repro.service.server import RuleService
+
+        body = {
+            "items": discretized_to_payload(small_random),
+            "consequent": 1,
+            "k": 2,
+            "minsup": 2,
+            "n_jobs": 8,  # capped at the service's mine_jobs
+        }
+        serial_service = RuleService(mining_workers=1, mine_jobs=1)
+        parallel_service = RuleService(mining_workers=1, mine_jobs=2)
+        try:
+            payloads = []
+            for service in (serial_service, parallel_service):
+                submitted = service.submit_mine(dict(body))
+                job = service.jobs.get(submitted["job_id"])
+                assert job.wait(timeout=60.0)
+                assert job.status == "done"
+                payloads.append(job.result)
+                # Bit-identical output means the cache key is shared:
+                # a re-submit is a hit regardless of n_jobs.
+                cached = service.submit_mine(dict(body))
+                assert cached["cached"] is True
+                assert cached["result"] == job.result
+            # The mined output is bit-identical; only the run counters
+            # (stats) differ — shard node counts are summed and dynamic
+            # pruning is weaker per shard (DESIGN.md §7).
+            mined = [
+                {key: value for key, value in payload.items() if key != "stats"}
+                for payload in payloads
+            ]
+            assert mined[0] == mined[1]
+        finally:
+            serial_service.shutdown()
+            parallel_service.shutdown()
+
+    def test_bad_n_jobs_rejected(self, small_random):
+        from repro.data.loaders import discretized_to_payload
+        from repro.service.server import RuleService, ServiceError
+
+        service = RuleService(mining_workers=1)
+        try:
+            with pytest.raises(ServiceError):
+                service.submit_mine({
+                    "items": discretized_to_payload(small_random),
+                    "consequent": 1,
+                    "minsup": 2,
+                    "n_jobs": 0,
+                })
+        finally:
+            service.shutdown()
+
+
+class TestHelpers:
+    def test_merge_stats(self):
+        from repro.core.enumeration import MinerStats
+
+        merged = merge_stats(
+            [
+                MinerStats(nodes_visited=5, groups_emitted=2,
+                           elapsed_seconds=0.5),
+                MinerStats(nodes_visited=7, loose_pruned=1,
+                           elapsed_seconds=0.2, completed=False),
+            ],
+            engine="tree",
+        )
+        assert merged.nodes_visited == 12
+        assert merged.groups_emitted == 2
+        assert merged.loose_pruned == 1
+        assert merged.elapsed_seconds == 0.5
+        assert merged.engine == "tree"
+        assert not merged.completed
+
+    def test_parallel_map_preserves_order(self):
+        assert parallel_map(_square, [3, 1, 2], n_jobs=2) == [9, 1, 4]
+        assert parallel_map(_square, [], n_jobs=2) == []
+        assert parallel_map(_square, [5], n_jobs=4) == [25]
+
+    def test_results_equal_detects_differences(self, figure1):
+        a = mine_topk(figure1, 1, 2, k=2)
+        b = mine_topk(figure1, 1, 2, k=1)
+        assert results_equal(a, a)
+        assert not results_equal(a, b)
+
+
+def _square(value: int) -> int:
+    # Module level so parallel_map can pickle it into workers.
+    return value * value

@@ -1,0 +1,72 @@
+"""LatencyHistogram bucketing (bisect fast path) and Telemetry registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.telemetry import DEFAULT_BUCKETS, LatencyHistogram, Telemetry
+
+
+class TestLatencyHistogram:
+    def test_boundary_semantics(self):
+        """An observation equal to an edge lands in that edge's bucket."""
+        histogram = LatencyHistogram(buckets=(0.1, 1.0, float("inf")))
+        histogram.observe(0.1)   # == first edge
+        histogram.observe(0.05)  # below first edge
+        histogram.observe(0.5)
+        histogram.observe(1.0)   # == second edge
+        histogram.observe(100.0)
+        assert histogram.counts == [2, 2, 1]
+        assert histogram.count == 5
+
+    def test_matches_linear_scan_reference(self):
+        """The bisect implementation reproduces the original linear scan."""
+        histogram = LatencyHistogram()
+        samples = [
+            0.0, 0.0005, 0.001, 0.0011, 0.004, 0.005, 0.03, 0.05, 0.07,
+            0.1, 0.3, 0.5, 0.9, 1.0, 2.5, 5.0, 10.0, 30.0, 31.0, 1e6,
+        ]
+        reference = [0] * len(DEFAULT_BUCKETS)
+        for seconds in samples:
+            histogram.observe(seconds)
+            for index, edge in enumerate(DEFAULT_BUCKETS):
+                if seconds <= edge:
+                    reference[index] += 1
+                    break
+        assert histogram.counts == reference
+
+    def test_max_seconds(self):
+        histogram = LatencyHistogram()
+        assert histogram.max_seconds == 0.0
+        histogram.observe(0.2)
+        histogram.observe(1.5)
+        histogram.observe(0.4)
+        assert histogram.max_seconds == 1.5
+        assert histogram.as_dict()["max_seconds"] == 1.5
+
+    def test_as_dict_shape(self):
+        histogram = LatencyHistogram(buckets=(0.5, float("inf")))
+        histogram.observe(0.25)
+        payload = histogram.as_dict()
+        assert payload["count"] == 1
+        assert payload["sum_seconds"] == 0.25
+        assert payload["mean_seconds"] == 0.25
+        assert payload["max_seconds"] == 0.25
+        assert payload["buckets"] == {"0.5": 1, "+inf": 0}
+
+    def test_rejects_unsorted_edges(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(buckets=(1.0, 0.5))
+
+
+class TestTelemetry:
+    def test_observe_and_snapshot(self):
+        telemetry = Telemetry()
+        telemetry.increment("requests")
+        telemetry.observe("latency", 0.002)
+        telemetry.observe("latency", 0.8)
+        snapshot = telemetry.snapshot()
+        assert snapshot["counters"]["requests"] == 1
+        latency = snapshot["latency"]["latency"]
+        assert latency["count"] == 2
+        assert latency["max_seconds"] == 0.8
