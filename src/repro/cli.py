@@ -12,6 +12,10 @@ Commands:
   :mod:`repro.service` (model registry, mining cache, async jobs);
 * ``bench``      — time serial vs. parallel mining on the synthetic
   generators and write ``BENCH_core.json`` (see :mod:`repro.bench`);
+* ``audit``      — differential fuzz & invariant audit: seeded random
+  datasets mined across engines, flags and worker counts, checked
+  against the naive baseline and the paper's invariants
+  (see :mod:`repro.audit`);
 * ``experiments``— forward to the table/figure drivers.
 
 All file formats are the plain-text formats of :mod:`repro.data.loaders`
@@ -210,6 +214,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from .audit import run_audit
+
+    report = run_audit(
+        seed=args.seed,
+        cases=args.cases,
+        quick=args.quick,
+        only_case=args.only_case,
+        parallel_jobs=1 if args.no_parallel else args.parallel_jobs,
+        progress=print if args.verbose else None,
+    )
+    for line in report.summary_lines():
+        print(line)
+    return 0 if report.ok else 1
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from .experiments.__main__ import main as experiments_main
 
@@ -322,6 +342,30 @@ def build_parser() -> argparse.ArgumentParser:
                        help="one small workload, one repeat — the CI "
                             "smoke profile")
     bench.set_defaults(handler=_cmd_bench)
+
+    audit = commands.add_parser(
+        "audit", help="differential fuzz & invariant audit of the miners "
+                      "and serving layer"
+    )
+    audit.add_argument("--seed", type=int, default=0,
+                       help="master seed; (seed, case index) fully "
+                            "determines a case")
+    audit.add_argument("--cases", type=int, default=25,
+                       help="number of fuzz cases to run")
+    audit.add_argument("--only-case", type=int, default=None,
+                       help="re-run exactly one case index (the repro "
+                            "path printed by failure reports)")
+    audit.add_argument("--quick", action="store_true",
+                       help="bounded CI profile: smaller flag matrix, "
+                            "no classifier round-trips")
+    audit.add_argument("--parallel-jobs", type=int, default=2,
+                       help="worker processes for the serial-vs-parallel "
+                            "check")
+    audit.add_argument("--no-parallel", action="store_true",
+                       help="skip the serial-vs-parallel check entirely")
+    audit.add_argument("--verbose", action="store_true",
+                       help="print one line per case")
+    audit.set_defaults(handler=_cmd_audit)
 
     experiments = commands.add_parser(
         "experiments", help="run a table/figure driver"

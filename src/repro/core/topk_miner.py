@@ -25,6 +25,7 @@ The public entry point is :func:`mine_topk`.
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional, Sequence
 
@@ -37,7 +38,13 @@ from .enumeration import MinerStats, run_enumeration
 from .rules import RuleGroup, TopKList
 from .view import MiningView
 
-__all__ = ["TopkPolicy", "TopkResult", "mine_topk", "relative_minsup"]
+__all__ = [
+    "TopkPolicy",
+    "TopkResult",
+    "maybe_check_result",
+    "mine_topk",
+    "relative_minsup",
+]
 
 
 def relative_minsup(
@@ -304,6 +311,13 @@ def mine_topk(
         cancel: optional cancellation token (anything with ``is_set()``);
             when set mid-run the lists discovered so far are returned with
             ``stats.completed`` False, exactly like a budget overrun.
+
+    Setting the ``REPRO_CHECK`` environment variable (to anything but
+    ``0``/empty) audits every returned result against the invariant
+    catalog of :mod:`repro.audit.invariants` before it is handed back,
+    raising :class:`~repro.audit.invariants.InvariantViolation` on the
+    first violated property.  The parallel path is checked after the
+    shard merge (see :func:`repro.parallel.mine_topk_sharded`).
         n_jobs: worker processes; 1 mines serially in this process, any
             other value dispatches to :mod:`repro.parallel` (``None``/0 =
             all cores).  The output is bit-identical either way; with
@@ -351,10 +365,28 @@ def mine_topk(
         )
     except MiningBudgetExceeded as overrun:
         stats = overrun.stats
-    return TopkResult(
+    result = TopkResult(
         per_row=policy.finalize(),
         consequent=consequent,
         minsup=minsup,
         k=k,
         stats=stats,
     )
+    maybe_check_result(dataset, result)
+    return result
+
+
+def maybe_check_result(dataset: "DiscretizedDataset", result: TopkResult) -> None:
+    """Run the invariant audit on ``result`` when ``REPRO_CHECK`` is set.
+
+    Coverage strictness follows ``stats.completed``: partial results
+    (budget overruns, cancellations) keep their structural invariants
+    but may legitimately have incomplete per-row lists.
+    """
+    # The env probe is inlined so unaudited runs never import the audit
+    # package (keep it in sync with repro.audit.invariants.checks_enabled).
+    if os.environ.get("REPRO_CHECK", "") in ("", "0"):
+        return
+    from ..audit.invariants import check_topk_result
+
+    check_topk_result(dataset, result, strict_coverage=result.stats.completed)

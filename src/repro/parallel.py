@@ -46,7 +46,7 @@ from typing import TYPE_CHECKING, Callable, Iterable, Optional, Sequence
 
 from .baselines.farmer import FarmerPolicy, FarmerResult
 from .core.enumeration import POLL_STRIDE, MinerStats, run_enumeration
-from .core.topk_miner import TopkPolicy, TopkResult
+from .core.topk_miner import TopkPolicy, TopkResult, maybe_check_result
 from .core.view import MiningView
 from .errors import MiningBudgetExceeded
 
@@ -413,10 +413,16 @@ def mine_topk_sharded(
         spans.append((len(jobs), len(jobs) + len(shards)))
         jobs.extend(("topk", request, mask) for mask in shards)
     outputs = _execute(dataset, jobs, n_workers, time_budget, cancel)
-    return [
+    results = [
         _merge_topk(dataset, request, outputs[start:stop])
         for request, (start, stop) in zip(requests, spans)
     ]
+    # Under REPRO_CHECK=1 the merged results are audited exactly like
+    # serial ones (no-op otherwise); this is the parallel counterpart of
+    # the hook at the end of mine_topk.
+    for result in results:
+        maybe_check_result(dataset, result)
+    return results
 
 
 def mine_topk_parallel(

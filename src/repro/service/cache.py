@@ -111,14 +111,19 @@ class MiningCache:
             return entry[0]
 
     def put(self, key: str, result: TopkResult) -> None:
-        """Insert (or refresh) a finished mining result."""
+        """Insert (or refresh) a finished mining result.
+
+        A result larger than the whole cache bound is simply not cached
+        — and leaves any previously cached entry for the key in place,
+        rather than dropping a good entry on the way to bailing out.
+        """
         size = _estimate_result_bytes(result)
         with self._lock:
+            if size > self.max_bytes:
+                return
             old = self._entries.pop(key, None)
             if old is not None:
                 self._bytes -= old[1]
-            if size > self.max_bytes:
-                return
             while self._bytes + size > self.max_bytes and self._entries:
                 _, (_, evicted_size) = self._entries.popitem(last=False)
                 self._bytes -= evicted_size

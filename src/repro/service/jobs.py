@@ -70,7 +70,15 @@ class Job:
     _done: threading.Event = field(default_factory=threading.Event)
 
     def describe(self) -> dict:
-        """JSON-safe status (without the result payload)."""
+        """JSON-safe status (without the result payload).
+
+        Job fields are mutated by the queue's worker threads under the
+        queue lock; callers that need an atomic view of a possibly
+        still-running job (e.g. a status poller that must not see a
+        terminal result paired with a non-terminal status) should go
+        through :meth:`JobQueue.snapshot` instead of reading fields off
+        a live job directly.
+        """
         return {
             "job_id": self.job_id,
             "status": self.status,
@@ -138,6 +146,21 @@ class JobQueue:
         """Look up a job by id; raises KeyError for unknown ids."""
         with self._lock:
             return self._jobs[job_id]
+
+    def snapshot(self, job_id: str) -> dict:
+        """Atomic :meth:`Job.describe` + result under the queue lock.
+
+        All job-field mutations happen while the queue lock is held, so
+        holding it across the read guarantees the returned status and
+        result belong to one consistent state.  Raises KeyError for
+        unknown ids.
+        """
+        with self._lock:
+            job = self._jobs[job_id]
+            payload = job.describe()
+            if job.result is not None:
+                payload["result"] = job.result
+            return payload
 
     def cancel(self, job_id: str) -> Job:
         """Request cancellation of a job.

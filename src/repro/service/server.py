@@ -86,6 +86,29 @@ def topk_result_to_payload(result: TopkResult) -> dict:
     }
 
 
+def _validate_budget(body: dict, name: str, default, integral: bool):
+    """Validate an optional mining-budget field of a ``/mine`` body.
+
+    A missing field falls back to ``default``; an explicit JSON ``null``
+    disables the budget.  Anything non-numeric (or non-positive) is
+    rejected here with a 400 instead of reaching ``mine_topk`` on the
+    worker thread and surfacing as a FAILED job with a traceback.
+    """
+    if name not in body:
+        return default
+    value = body[name]
+    if value is None:
+        return None
+    kinds = "an integer" if integral else "a number"
+    if isinstance(value, bool) or not isinstance(
+        value, int if integral else (int, float)
+    ):
+        raise ServiceError(400, f"'{name}' must be {kinds} or null")
+    if value <= 0:
+        raise ServiceError(400, f"'{name}' must be positive, got {value}")
+    return value if integral else float(value)
+
+
 class RuleService:
     """Transport-free serving facade over registry, cache and job queue.
 
@@ -323,8 +346,12 @@ class RuleService:
             }
         self.telemetry.increment("mine_cache_misses")
 
-        node_budget = body.get("node_budget", self.node_budget)
-        time_budget = body.get("time_budget", self.time_budget)
+        node_budget = _validate_budget(
+            body, "node_budget", self.node_budget, integral=True
+        )
+        time_budget = _validate_budget(
+            body, "time_budget", self.time_budget, integral=False
+        )
         try:
             n_jobs = int(body.get("n_jobs", self.mine_jobs))
         except (TypeError, ValueError):
@@ -334,23 +361,6 @@ class RuleService:
         # Cap per-request parallelism at the operator's configuration so
         # one client cannot fan a single job out over every core.
         n_jobs = min(n_jobs, self.mine_jobs)
-
-        with self._lock:
-            inflight_id = self._inflight.get(key)
-        if inflight_id is not None:
-            try:
-                job = self.jobs.get(inflight_id)
-            except KeyError:
-                job = None
-            if job is not None and job.status in ("queued", "running"):
-                self.telemetry.increment("mine_deduplicated")
-                return {
-                    "status": job.status,
-                    "cached": False,
-                    "deduplicated": True,
-                    "key": key,
-                    "job_id": job.job_id,
-                }
 
         def run(job):
             try:
@@ -367,8 +377,36 @@ class RuleService:
                     if self._inflight.get(key) == job.job_id:
                         del self._inflight[key]
 
-        job = self.jobs.submit(run)
+        # The inflight check, submit, and registration must be one
+        # atomic step: otherwise two concurrent identical requests can
+        # both pass the check and both mine, and a fast-finishing job's
+        # cleanup can run before registration, leaving a stale inflight
+        # entry.  A worker that picks the job up immediately blocks in
+        # the cleanup on this same lock until registration is done (the
+        # job function never *acquires* the lock while submit holds it
+        # on another thread's behalf — there is no reverse ordering).
         with self._lock:
+            inflight_id = self._inflight.get(key)
+            if inflight_id is not None:
+                try:
+                    inflight_job = self.jobs.get(inflight_id)
+                except KeyError:
+                    inflight_job = None
+                if inflight_job is not None and inflight_job.status in (
+                    "queued", "running"
+                ):
+                    self.telemetry.increment("mine_deduplicated")
+                    return {
+                        "status": inflight_job.status,
+                        "cached": False,
+                        "deduplicated": True,
+                        "key": key,
+                        "job_id": inflight_job.job_id,
+                    }
+                # The registered job already reached a terminal state;
+                # drop the stale entry before registering a fresh one.
+                del self._inflight[key]
+            job = self.jobs.submit(run)
             self._inflight[key] = job.job_id
         self.telemetry.increment("mine_jobs_submitted")
         self.telemetry.observe("mine_submit_seconds", time.monotonic() - start)
@@ -381,21 +419,22 @@ class RuleService:
 
     def job_status(self, job_id: str) -> dict:
         try:
-            job = self.jobs.get(job_id)
+            # Snapshot under the queue lock: a poller must never observe
+            # a torn pair such as status "running" with a result already
+            # attached (or "done" without one).
+            return self.jobs.snapshot(job_id)
         except KeyError:
             raise ServiceError(404, f"unknown job {job_id!r}")
-        payload = job.describe()
-        if job.result is not None:
-            payload["result"] = job.result
-        return payload
 
     def cancel_job(self, job_id: str) -> dict:
         try:
-            job = self.jobs.cancel(job_id)
+            self.jobs.cancel(job_id)
+            payload = self.jobs.snapshot(job_id)
         except KeyError:
             raise ServiceError(404, f"unknown job {job_id!r}")
         self.telemetry.increment("mine_jobs_cancelled")
-        return job.describe()
+        payload.pop("result", None)
+        return payload
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -437,7 +476,10 @@ class _Handler(BaseHTTPRequestHandler):
         self.wfile.write(body)
 
     def _read_json(self) -> dict:
-        length = int(self.headers.get("Content-Length", 0))
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except (TypeError, ValueError):
+            raise ServiceError(400, "malformed Content-Length header")
         if length > self.max_body_bytes:
             raise ServiceError(413, "request body too large")
         if length <= 0:
