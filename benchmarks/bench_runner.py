@@ -3,9 +3,11 @@
 
 Thin wrapper over :mod:`repro.bench` so the bench can run straight from
 a checkout (``python benchmarks/bench_runner.py --quick``) without
-installing the package; all options are forwarded unchanged.  The
-pytest-benchmark files next to this script cover paper-shape assertions;
-this runner owns the serial-vs-parallel trajectory file.
+installing the package; all options are forwarded unchanged, including
+``--compare BASELINE`` (regression gate against a committed report) and
+``--include-quick`` (fold the CI smoke workloads into a full baseline).
+The pytest-benchmark files next to this script cover paper-shape
+assertions; this runner owns the serial-vs-parallel trajectory file.
 """
 
 import sys

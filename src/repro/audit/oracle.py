@@ -13,6 +13,9 @@ repo rich in free oracles.  For one generated case this module:
   the paper);
 * re-mines with ``n_jobs > 1`` and asserts the sharded parallel merge
   is bit-identical to the serial run;
+* on rotated cases, re-mines through the *warm* miner pool and with
+  ``n_jobs="auto"`` and asserts the adaptive planner and pool reuse
+  change nothing;
 * round-trips the result through the service cache and its JSON
   payload, the dataset through its payload codec (fingerprints and
   re-mined results must survive), and fitted RCBT/CBA classifiers
@@ -229,6 +232,32 @@ def audit_case(
                 results_equal(serial, parallel),
                 f"n_jobs={parallel_jobs} result differs from serial "
                 f"({engine} engine)",
+            )
+
+    # -- warm pool + adaptive planner: bit-identical -----------------------
+    if parallel_jobs > 1 and case.index % 3 == 0:
+        # Rotated like the engine above.  Two properties ride this check:
+        # the planner path (n_jobs="auto" picks serial or parallel per
+        # workload and must change nothing either way), and miner-pool
+        # reuse — the pool is warm from the parallel check just above, so
+        # this mine rides already-running workers.
+        engine = ENGINES[case.index % len(ENGINES)]
+        serial = engine_results.get(engine)
+        auto = auditor.mine(f"pool:auto:{engine}", engine=engine, n_jobs="auto")
+        if auto is not None and serial is not None:
+            auditor.expect(
+                f"pool-auto-equal:{engine}",
+                results_equal(serial, auto),
+                f"n_jobs='auto' result differs from serial ({engine} engine)",
+            )
+        reused = auditor.mine(
+            f"pool:reuse:{engine}", engine=engine, n_jobs=parallel_jobs
+        )
+        if reused is not None and serial is not None:
+            auditor.expect(
+                f"pool-reuse-equal:{engine}",
+                results_equal(serial, reused),
+                f"warm-pool reuse differs from serial ({engine} engine)",
             )
 
     # -- service cache + payload round-trips -------------------------------

@@ -204,7 +204,7 @@ def mine_farmer(
             min_chi_square=min_chi_square,
             n_jobs=n_jobs,
         )
-    view = MiningView(dataset, consequent, minsup)
+    view = MiningView.cached(dataset, consequent, minsup)
     policy = FarmerPolicy(
         view,
         minconf=minconf,

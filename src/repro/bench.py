@@ -10,11 +10,18 @@ Honesty rules baked in:
 
 * best-of-``repeats`` wall-clock (robust to scheduler noise, biased the
   same way for serial and parallel runs);
-* the host's ``cpu_count`` is recorded next to every speedup — a 4-worker
-  run on a 1-core container *cannot* speed up, and the report says so
-  rather than hiding it;
+* the host's ``cpu_count`` is recorded next to every speedup, and every
+  parallel measurement whose worker count exceeds the host's cores is
+  flagged ``oversubscribed`` — a 4-worker run on a 1-core container
+  *cannot* speed up, and the report says so rather than hiding it
+  (oversubscribed points must not back any speedup claim);
 * every parallel measurement carries ``identical_output``, the assertion
-  that sharded mining reproduced the serial result exactly.
+  that sharded mining reproduced the serial result exactly;
+* every workload is also timed with ``n_jobs="auto"`` so the adaptive
+  planner's choice is itself measured, not assumed;
+* :func:`compare_reports` (``repro bench --compare``) diffs a fresh run
+  against a committed baseline and fails on serial-time regressions, so
+  perf changes land with evidence.
 """
 
 from __future__ import annotations
@@ -31,9 +38,22 @@ from .baselines.farmer import FarmerResult, mine_farmer
 from .core.topk_miner import TopkResult, mine_topk, relative_minsup
 from .data.loaders import load_benchmark
 from .experiments.harness import format_seconds
-from .parallel import mine_farmer_parallel, mine_topk_parallel, results_equal
+from .parallel import (
+    AUTO_JOBS,
+    mine_farmer_parallel,
+    mine_topk_parallel,
+    pool_stats,
+    results_equal,
+)
 
-__all__ = ["Workload", "BenchReport", "run_bench", "write_report", "main"]
+__all__ = [
+    "Workload",
+    "BenchReport",
+    "run_bench",
+    "write_report",
+    "compare_reports",
+    "main",
+]
 
 SCHEMA_VERSION = 1
 
@@ -66,8 +86,13 @@ DEFAULT_WORKLOADS = (
     Workload("pc-farmer-table", "PC", "farmer", "table"),
 )
 
+# Two workloads: a fast bitset sanity point, and a k=100 tree mine that
+# runs long enough (~10ms serial) to carry a meaningful wall-clock
+# comparison — sub-millisecond mines drown in scheduler jitter, so the
+# regression gate needs at least one entry above the noise floor.
 QUICK_WORKLOADS = (
     Workload("quick-topk-bitset-k5", "ALL", "topk", "bitset", k=5),
+    Workload("quick-topk-tree-k100", "ALL", "topk", "tree", k=100),
 )
 
 
@@ -103,9 +128,18 @@ class BenchReport:
                 entry["parallel"].items(), key=lambda kv: int(kv[0])
             ):
                 check = "ok" if measured["identical_output"] else "MISMATCH"
+                over = "!" if measured.get("oversubscribed") else ""
                 parts.append(
-                    f"{jobs}j {format_seconds(measured['seconds'])} "
+                    f"{jobs}j{over} {format_seconds(measured['seconds'])} "
                     f"(x{measured['speedup']:.2f}, {check})"
+                )
+            auto = entry.get("auto")
+            if auto is not None:
+                check = "ok" if auto["identical_output"] else "MISMATCH"
+                plan = "serial" if auto["chose_serial"] else "parallel"
+                parts.append(
+                    f"auto[{plan}] {format_seconds(auto['seconds'])} "
+                    f"(x{auto['speedup']:.2f}, {check})"
                 )
             lines.append("  " + " | ".join(parts))
         if self.host["cpu_count"] < max(
@@ -114,8 +148,9 @@ class BenchReport:
             default=1,
         ):
             lines.append(
-                "  note: worker count exceeds host cores; speedups are "
-                "bounded by the hardware, not the backend"
+                "  note: worker count exceeds host cores; measurements "
+                "flagged '!' are oversubscribed and say nothing about "
+                "the backend"
             )
         return lines
 
@@ -164,6 +199,7 @@ def _measure(
         )
         identical = _farmer_identical
     serial_seconds, serial_result = _best_of(serial_fn, repeats)
+    cpu_count = os.cpu_count() or 1
     entry = {
         "name": workload.name,
         "dataset": workload.dataset,
@@ -172,6 +208,7 @@ def _measure(
         "k": workload.k,
         "minsup": minsup,
         "fraction": workload.fraction,
+        "scale": scale,
         "n_rows": train.n_rows,
         "serial_seconds": serial_seconds,
         "serial_nodes_visited": serial_result.stats.nodes_visited,
@@ -184,7 +221,23 @@ def _measure(
             "speedup": serial_seconds / seconds if seconds > 0 else 0.0,
             "identical_output": identical(serial_result, result),
             "nodes_visited": result.stats.nodes_visited,
+            # Workers beyond the host's cores cannot run concurrently;
+            # such a point measures scheduling overhead, not the backend,
+            # and must not back a speedup claim.
+            "oversubscribed": n_jobs > cpu_count,
         }
+    # The planner path is measured unconditionally: "auto" must never be
+    # meaningfully slower than whatever it picked against (the acceptance
+    # bar is within 5% of serial on serial-sized workloads).
+    fallbacks_before = pool_stats()["planner_serial_fallbacks"]
+    auto_seconds, auto_result = _best_of(lambda: parallel_fn(AUTO_JOBS), repeats)
+    chose_serial = pool_stats()["planner_serial_fallbacks"] > fallbacks_before
+    entry["auto"] = {
+        "seconds": auto_seconds,
+        "speedup": serial_seconds / auto_seconds if auto_seconds > 0 else 0.0,
+        "identical_output": identical(serial_result, auto_result),
+        "chose_serial": chose_serial,
+    }
     return entry
 
 
@@ -194,16 +247,23 @@ def run_bench(
     repeats: int = 3,
     quick: bool = False,
     workloads: Optional[Sequence[Workload]] = None,
+    include_quick: bool = False,
 ) -> BenchReport:
     """Time every workload serially and at each worker count.
 
-    ``quick`` switches to the CI smoke profile: one small workload, two
-    workers, one repetition, scale 0.05 — a few seconds end to end.
+    ``quick`` switches to the CI smoke profile: two small workloads, two
+    workers, three repetitions, scale 0.05 — a few seconds end to end
+    (best-of-3 because the quick numbers feed the ``--compare``
+    regression gate, where a single noisy sample would flake).
+    ``include_quick`` appends the quick workloads (measured at the quick
+    profile's scale and worker count) to a full run, so the committed
+    baseline contains the exact entries a CI ``--quick --compare`` run
+    will look up.
     """
     if quick:
         workloads = QUICK_WORKLOADS if workloads is None else workloads
         jobs = QUICK_JOBS
-        repeats = 1
+        repeats = 3
         scale = min(scale, 0.05)
     elif workloads is None:
         workloads = DEFAULT_WORKLOADS
@@ -218,10 +278,16 @@ def run_bench(
             "jobs": [int(n) for n in jobs],
             "repeats": repeats,
             "quick": quick,
+            "include_quick": include_quick,
         },
     )
     for workload in workloads:
         report.benchmarks.append(_measure(workload, scale, jobs, repeats))
+    if include_quick and not quick:
+        for workload in QUICK_WORKLOADS:
+            report.benchmarks.append(
+                _measure(workload, min(scale, 0.05), QUICK_JOBS, repeats)
+            )
     return report
 
 
@@ -229,6 +295,99 @@ def write_report(report: BenchReport, path: str | Path) -> None:
     Path(path).write_text(
         json.dumps(report.as_dict(), indent=2) + "\n", encoding="utf-8"
     )
+
+
+# A serial time more than this factor above the baseline fails the
+# comparison.  Generous on purpose: CI containers are noisy and the
+# committed baseline may come from different hardware; the gate exists to
+# catch algorithmic regressions (2x+), not scheduler jitter.
+REGRESSION_FACTOR = 2.0
+
+# A ratio alone cannot condemn a sub-millisecond measurement: on a busy
+# CI runner a ~1ms mine routinely doubles from scheduler jitter.  A
+# regression must also be slower in absolute terms by at least this
+# much, so only workloads big enough to time reliably can fail the gate.
+REGRESSION_MIN_DELTA_SECONDS = 0.005
+
+# Keys that must match for a baseline entry to be comparable: if any
+# differ, the workload itself changed and a wall-clock diff is
+# meaningless.
+_COMPARE_KEYS = ("dataset", "miner", "engine", "k", "minsup", "n_rows")
+
+
+def compare_reports(
+    current: dict,
+    baseline: dict,
+    regression_factor: float = REGRESSION_FACTOR,
+) -> tuple[list[str], bool]:
+    """Diff ``current`` against ``baseline`` (both ``as_dict`` payloads).
+
+    Benchmarks are matched by name and only compared when their workload
+    configuration is identical (:data:`_COMPARE_KEYS`).  Returns the
+    human-readable diff lines and an ``ok`` flag that is False iff any
+    compared benchmark's ``serial_seconds`` regressed by more than
+    ``regression_factor`` *and* by more than
+    :data:`REGRESSION_MIN_DELTA_SECONDS` in absolute terms.
+    """
+    lines: list[str] = []
+    ok = True
+    current_host = current.get("host", {})
+    baseline_host = baseline.get("host", {})
+    if (
+        current_host.get("platform") != baseline_host.get("platform")
+        or current_host.get("cpu_count") != baseline_host.get("cpu_count")
+    ):
+        lines.append(
+            "  note: baseline host differs "
+            f"({baseline_host.get('platform')}, "
+            f"{baseline_host.get('cpu_count')} cores vs "
+            f"{current_host.get('platform')}, "
+            f"{current_host.get('cpu_count')} cores); wall-clock deltas "
+            "partly reflect hardware"
+        )
+    baseline_by_name = {
+        entry.get("name"): entry for entry in baseline.get("benchmarks", [])
+    }
+    compared = 0
+    for entry in current.get("benchmarks", []):
+        name = entry.get("name")
+        base = baseline_by_name.get(name)
+        if base is None:
+            lines.append(f"  {name}: no baseline entry — skipped")
+            continue
+        mismatched = [
+            key for key in _COMPARE_KEYS if entry.get(key) != base.get(key)
+        ]
+        if mismatched:
+            lines.append(
+                f"  {name}: workload changed ({', '.join(mismatched)}) "
+                "— skipped"
+            )
+            continue
+        compared += 1
+        base_serial = base["serial_seconds"]
+        serial = entry["serial_seconds"]
+        speedup = base_serial / serial if serial > 0 else float("inf")
+        regressed = (
+            base_serial > 0
+            and serial > regression_factor * base_serial
+            and serial - base_serial > REGRESSION_MIN_DELTA_SECONDS
+        )
+        if regressed:
+            ok = False
+        status = "REGRESSION" if regressed else (
+            "faster" if speedup >= 1.0 else "slower"
+        )
+        lines.append(
+            f"  {name}: serial {format_seconds(base_serial)} -> "
+            f"{format_seconds(serial)} (x{speedup:.2f}, {status})"
+        )
+    header = (
+        f"baseline comparison — {compared} compared, "
+        f"{'ok' if ok else 'REGRESSED'} "
+        f"(fail threshold: serial > {regression_factor:g}x baseline)"
+    )
+    return [header, *lines], ok
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -241,15 +400,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--scale", type=float, default=0.25)
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--include-quick", action="store_true")
+    parser.add_argument("--compare", metavar="BASELINE",
+                        help="diff against this committed report; exit "
+                             "non-zero on a serial-time regression")
     args = parser.parse_args(argv)
+    # Read the baseline before writing, in case --output points at it.
+    baseline = None
+    if args.compare:
+        baseline = json.loads(Path(args.compare).read_text(encoding="utf-8"))
     report = run_bench(
         scale=args.scale, jobs=tuple(args.jobs), repeats=args.repeats,
-        quick=args.quick,
+        quick=args.quick, include_quick=args.include_quick,
     )
     write_report(report, args.output)
     for line in report.summary_lines():
         print(line)
     print(f"wrote {args.output}")
+    if baseline is not None:
+        lines, ok = compare_reports(report.as_dict(), baseline)
+        for line in lines:
+            print(line)
+        if not ok:
+            return 1
     return 0
 
 

@@ -54,6 +54,22 @@ from .data.synthetic import PAPER_DATASETS, generate_paper_dataset
 
 __all__ = ["main"]
 
+
+def _jobs_arg(value: str):
+    """argparse type for worker counts: an integer or the string 'auto'.
+
+    'auto' defers to the adaptive execution planner of
+    :mod:`repro.parallel`, which picks serial or all-cores per workload.
+    """
+    if value == "auto":
+        return value
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {value!r}"
+        )
+
 _RULE_CLASSIFIERS = {
     "rcbt": lambda args: RCBTClassifier(k=args.k, nl=args.nl,
                                         n_jobs=getattr(args, "jobs", 1)),
@@ -199,18 +215,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from .bench import run_bench, write_report
+    import json
 
+    from .bench import compare_reports, run_bench, write_report
+
+    # Read the baseline before writing, in case --output points at it.
+    baseline = None
+    if args.compare:
+        baseline = json.loads(Path(args.compare).read_text(encoding="utf-8"))
     report = run_bench(
         scale=args.scale,
         jobs=tuple(args.jobs),
         repeats=args.repeats,
         quick=args.quick,
+        include_quick=args.include_quick,
     )
     write_report(report, args.output)
     for line in report.summary_lines():
         print(line)
     print(f"wrote {args.output}")
+    if baseline is not None:
+        lines, ok = compare_reports(report.as_dict(), baseline)
+        for line in lines:
+            print(line)
+        if not ok:
+            return 1
     return 0
 
 
@@ -273,9 +302,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="used when --minsup is not given")
     mine.add_argument("--engine", choices=("bitset", "table", "tree"),
                       default="bitset")
-    mine.add_argument("--jobs", type=int, default=1,
-                      help="worker processes for the mine (0 = all cores; "
-                           "output is identical to serial)")
+    mine.add_argument("--jobs", type=_jobs_arg, default=1,
+                      help="worker processes for the mine (0 = all cores, "
+                           "'auto' = let the planner decide; output is "
+                           "identical to serial)")
     mine.set_defaults(handler=_cmd_mine)
 
     classify = commands.add_parser(
@@ -289,9 +319,9 @@ def build_parser() -> argparse.ArgumentParser:
     classify.add_argument("--nl", type=int, default=20)
     classify.add_argument("--kernel", choices=("linear", "poly"),
                           default="linear")
-    classify.add_argument("--jobs", type=int, default=1,
+    classify.add_argument("--jobs", type=_jobs_arg, default=1,
                           help="worker processes for rcbt rule mining "
-                               "(0 = all cores)")
+                               "(0 = all cores, 'auto' = planner decides)")
     classify.add_argument("--save", help="write the trained model (rcbt/cba) "
                                           "and its pipeline file here")
     classify.set_defaults(handler=_cmd_classify)
@@ -319,9 +349,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="byte bound of the mining result cache")
     serve.add_argument("--workers", type=int, default=2,
                        help="mining job worker threads")
-    serve.add_argument("--mine-jobs", type=int, default=1,
+    serve.add_argument("--mine-jobs", type=_jobs_arg, default=1,
                        help="worker processes each mining job may use "
-                            "(cap for per-request n_jobs)")
+                            "(cap for per-request n_jobs; 'auto' = "
+                            "planner decides per workload)")
     serve.add_argument("--verbose", action="store_true",
                        help="log one line per request")
     serve.set_defaults(handler=_cmd_serve)
@@ -341,6 +372,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--quick", action="store_true",
                        help="one small workload, one repeat — the CI "
                             "smoke profile")
+    bench.add_argument("--include-quick", action="store_true",
+                       help="append the quick workloads to a full run so "
+                            "the baseline covers CI's --quick profile")
+    bench.add_argument("--compare", metavar="BASELINE",
+                       help="diff this run against a committed report; "
+                            "exit non-zero if any serial time regressed "
+                            "more than 2x")
     bench.set_defaults(handler=_cmd_bench)
 
     audit = commands.add_parser(

@@ -38,12 +38,12 @@ from __future__ import annotations
 
 import time
 from bisect import bisect_left
+from collections import Counter
 from dataclasses import dataclass
 from typing import Optional, Protocol, Sequence
 
 from ..errors import MiningBudgetExceeded
 from .bitset import iter_indices, mask_below
-from .prefix_tree import PrefixTree
 from .view import MiningView
 
 __all__ = [
@@ -230,6 +230,20 @@ def run_enumeration(
 # ---------------------------------------------------------------------------
 # bitset engine
 # ---------------------------------------------------------------------------
+#
+# All three engines are iterative explicit-stack kernels: a frame per
+# enumeration-tree node holds the not-yet-expanded candidates plus the
+# decrementally maintained rest counters, and descending into a subtree
+# is "save the loop state into the frame, push a child frame, break".
+# The DFS order, the policy-hook call sequence and the budget charges are
+# exactly those of the recursive formulation (the pre-rewrite walkers
+# survive as the reference implementations in tests/test_kernels.py);
+# pruning counters are kept in locals and flushed in a ``finally`` so the
+# stats travelling with a budget overrun stay accurate.  First-level
+# node data comes from the view's :class:`~repro.core.view.SupportIndex`
+# memo where a pure recomputation would otherwise dominate the walk
+# (bitset and tree engines only — the table engine keeps FARMER's cost
+# profile).
 
 
 def _walk_bitset(
@@ -239,7 +253,8 @@ def _walk_bitset(
     budget: _Budget,
     first_rows: Optional[int] = None,
 ) -> None:
-    item_rows = view.item_rows
+    support = view.support_index()
+    item_rows = support.item_rows
     row_items = view.row_items
     positive_mask = view.positive_mask
     # Hot-path bindings: these are resolved once instead of per node.
@@ -248,68 +263,99 @@ def _walk_bitset(
     loose_prunable = policy.loose_prunable
     tight_prunable = policy.tight_prunable
     emit = policy.emit
-
-    def recurse(
-        x_bits: int,
-        x_p: int,
-        x_n: int,
-        items: Sequence[int],
-        cand_bits: int,
-        allowed: Optional[int],
-    ) -> None:
-        # The popcounts of `remaining` are maintained decrementally; the
-        # parent's (x_p, x_n) split travels down so seed counts are two
-        # additions instead of two fresh popcounts per node.
-        remaining = cand_bits
-        rem_p = bit_count(cand_bits & positive_mask)
-        rem_n = bit_count(cand_bits) - rem_p
-        for r in iter_indices(cand_bits):
-            r_bit = 1 << r
-            remaining &= ~r_bit
-            if r_bit & positive_mask:
-                rem_p -= 1
-                seed_p, seed_n = x_p + 1, x_n
-            else:
-                rem_n -= 1
-                seed_p, seed_n = x_p, x_n + 1
-            if allowed is not None and not allowed & r_bit:
-                continue
-            charge_node()
-            threshold_bits = ((x_bits | r_bit) | remaining) & positive_mask
-            if loose_prunable(seed_p, seed_n, rem_p, rem_n, threshold_bits):
-                stats.loose_pruned += 1
-                continue
-            present = row_items[r]
-            new_items = [i for i in items if i in present]
-            if not new_items:
-                continue
-            closure = item_rows[new_items[0]]
-            union = closure
-            for item in new_items[1:]:
-                rows = item_rows[item]
-                closure &= rows
-                union |= rows
-            # Backward pruning (step 7): a row before r outside X containing
-            # I(X ∪ {r}) means this group was found in an earlier subtree.
-            if closure & (r_bit - 1) & ~x_bits:
-                stats.backward_pruned += 1
-                continue
-            new_cand = remaining & union & ~closure
-            new_x_p = bit_count(closure & positive_mask)
-            new_x_n = bit_count(closure) - new_x_p
-            m_p = bit_count(new_cand & positive_mask)
-            new_r_n = bit_count(new_cand) - m_p
-            new_threshold = (closure | new_cand) & positive_mask
-            if tight_prunable(new_x_p, new_x_n, m_p, new_r_n, new_threshold):
-                stats.tight_pruned += 1
-                continue
-            stats.groups_emitted += 1
-            emit(new_items, closure, new_x_p, new_x_n)
-            if new_cand:
-                recurse(closure, new_x_p, new_x_n, new_items, new_cand, None)
+    bitset_root = support.bitset_root
 
     all_rows = mask_below(view.n_rows)
-    recurse(0, 0, 0, list(view.frequent_items), all_rows, first_rows)
+    root_rem_p = bit_count(all_rows & positive_mask)
+    root_rem_n = bit_count(all_rows) - root_rem_p
+    # Frame: [todo, rem_p, rem_n, x_bits, x_p, x_n, items, allowed].
+    # ``todo`` doubles as the candidate iterator (lowest set bit = next
+    # row, ascending) and as the "remaining candidates after r" mask of
+    # the Lemma 3.2 bounds.
+    stack: list[list] = [
+        [all_rows, root_rem_p, root_rem_n, 0, 0, 0, None, first_rows]
+    ]
+    loose = tight = backward = emitted = 0
+    try:
+        while stack:
+            frame = stack[-1]
+            todo, rem_p, rem_n, x_bits, x_p, x_n, items, allowed = frame
+            pushed = False
+            while todo:
+                r_bit = todo & -todo
+                todo ^= r_bit
+                if r_bit & positive_mask:
+                    rem_p -= 1
+                    seed_p = x_p + 1
+                    seed_n = x_n
+                else:
+                    rem_n -= 1
+                    seed_p = x_p
+                    seed_n = x_n + 1
+                if allowed is not None and not allowed & r_bit:
+                    continue
+                charge_node()
+                threshold_bits = (x_bits | r_bit | todo) & positive_mask
+                if loose_prunable(seed_p, seed_n, rem_p, rem_n, threshold_bits):
+                    loose += 1
+                    continue
+                if x_bits:
+                    present = row_items[r_bit.bit_length() - 1]
+                    new_items = [i for i in items if i in present]
+                    if not new_items:
+                        continue
+                    closure = item_rows[new_items[0]]
+                    union = closure
+                    for item in new_items[1:]:
+                        rows = item_rows[item]
+                        closure &= rows
+                        union |= rows
+                    # Backward pruning (step 7): a row before r outside X
+                    # containing I(X ∪ {r}) means this group was found in
+                    # an earlier subtree.
+                    if closure & (r_bit - 1) & ~x_bits:
+                        backward += 1
+                        continue
+                    new_cand = todo & union & ~closure
+                    new_x_p = bit_count(closure & positive_mask)
+                    new_x_n = bit_count(closure) - new_x_p
+                    m_p = bit_count(new_cand & positive_mask)
+                    new_r_n = bit_count(new_cand) - m_p
+                    new_threshold = (closure | new_cand) & positive_mask
+                else:
+                    # Root frame: every value below is a pure function of
+                    # the view, memoized on the SupportIndex.
+                    entry = bitset_root(r_bit.bit_length() - 1)
+                    tag = entry[0]
+                    if tag == "empty":
+                        continue
+                    if tag == "backward":
+                        backward += 1
+                        continue
+                    (_, new_items, closure, new_cand, new_x_p, new_x_n,
+                     m_p, new_r_n, new_threshold) = entry
+                if tight_prunable(new_x_p, new_x_n, m_p, new_r_n, new_threshold):
+                    tight += 1
+                    continue
+                emitted += 1
+                emit(new_items, closure, new_x_p, new_x_n)
+                if new_cand:
+                    frame[0] = todo
+                    frame[1] = rem_p
+                    frame[2] = rem_n
+                    stack.append(
+                        [new_cand, m_p, new_r_n, closure,
+                         new_x_p, new_x_n, new_items, None]
+                    )
+                    pushed = True
+                    break
+            if not pushed:
+                stack.pop()
+    finally:
+        stats.loose_pruned += loose
+        stats.tight_pruned += tight
+        stats.backward_pruned += backward
+        stats.groups_emitted += emitted
 
 
 # ---------------------------------------------------------------------------
@@ -327,6 +373,7 @@ def _walk_table(
     positive_mask = view.positive_mask
     n_positive = view.n_positive
     bit_count = int.bit_count
+    bisect = bisect_left
     charge_node = budget.charge_node
     loose_prunable = policy.loose_prunable
     tight_prunable = policy.tight_prunable
@@ -334,95 +381,124 @@ def _walk_table(
 
     # The root transposed table: one tuple per frequent item, carrying the
     # item's full ascending row list.  Projection passes tuple references
-    # down unchanged; the scan position is implied by r.
+    # down unchanged; the scan position is implied by r.  Rebuilt per run
+    # on purpose: this engine exists to preserve FARMER's per-node cost
+    # profile, so it takes no SupportIndex memo.
     root_tuples = [
         (item, sorted(iter_indices(view.item_rows[item])))
         for item in view.frequent_items
     ]
-
-    def recurse(
-        x_bits: int,
-        x_p: int,
-        x_n: int,
-        tuples: list[tuple[int, list[int]]],
-        cand: list[int],
-        allowed: Optional[int],
-    ) -> None:
-        # Positive count/bitset of the not-yet-expanded candidates are
-        # maintained decrementally instead of being rescanned per node.
-        rest_p = 0
-        rest_pos_bits = 0
-        for row in cand:
-            if row < n_positive:
-                rest_p += 1
-                rest_pos_bits |= 1 << row
-        rest_n = len(cand) - rest_p
-        for r in cand:
-            r_bit = 1 << r
-            if r < n_positive:
-                rest_p -= 1
-                rest_pos_bits &= ~r_bit
-                seed_p, seed_n = x_p + 1, x_n
-            else:
-                rest_n -= 1
-                seed_p, seed_n = x_p, x_n + 1
-            if allowed is not None and not allowed & r_bit:
-                continue
-            charge_node()
-            threshold_bits = ((x_bits | r_bit) & positive_mask) | rest_pos_bits
-            if loose_prunable(seed_p, seed_n, rest_p, rest_n, threshold_bits):
-                stats.loose_pruned += 1
-                continue
-            # Project: keep tuples whose row list contains r (bisect scan,
-            # the authentic per-node cost of the pointer-based FARMER).
-            kept = []
-            for item, rows in tuples:
-                position = bisect_left(rows, r)
-                if position < len(rows) and rows[position] == r:
-                    kept.append((item, rows))
-            if not kept:
-                continue
-            # Count frequencies over the kept tuples' full row lists.
-            freq: dict[int, int] = {}
-            for _item, rows in kept:
-                for row in rows:
-                    freq[row] = freq.get(row, 0) + 1
-            n_tuples = len(kept)
-            closure = 0
-            backward = False
-            for row, count in freq.items():
-                if count == n_tuples:
-                    if row < r and not x_bits >> row & 1:
-                        backward = True
-                        break
-                    closure |= 1 << row
-            if backward:
-                stats.backward_pruned += 1
-                continue
-            new_cand = sorted(
-                row
-                for row, count in freq.items()
-                if row > r and count < n_tuples
-            )
-            new_x_p = bit_count(closure & positive_mask)
-            new_x_n = bit_count(closure) - new_x_p
-            m_p = 0
-            new_cand_pos_bits = 0
-            for row in new_cand:
-                if row < n_positive:
-                    m_p += 1
-                    new_cand_pos_bits |= 1 << row
-            new_r_n = len(new_cand) - m_p
-            new_threshold = (closure & positive_mask) | new_cand_pos_bits
-            if tight_prunable(new_x_p, new_x_n, m_p, new_r_n, new_threshold):
-                stats.tight_pruned += 1
-                continue
-            stats.groups_emitted += 1
-            emit([item for item, _rows in kept], closure, new_x_p, new_x_n)
-            if new_cand:
-                recurse(closure, new_x_p, new_x_n, kept, new_cand, None)
-
-    recurse(0, 0, 0, root_tuples, list(range(view.n_rows)), first_rows)
+    root_cand = list(range(view.n_rows))
+    root_rest_p = 0
+    root_pos_bits = 0
+    for row in root_cand:
+        if row < n_positive:
+            root_rest_p += 1
+            root_pos_bits |= 1 << row
+    root_rest_n = len(root_cand) - root_rest_p
+    # Frame: [cand, index, rest_p, rest_pos_bits, rest_n,
+    #         x_bits, x_p, x_n, tuples, allowed].  The rest counters of a
+    # child frame are seeded from the parent's scan (m_p etc.) instead of
+    # being recomputed at frame entry.
+    stack: list[list] = [
+        [root_cand, 0, root_rest_p, root_pos_bits, root_rest_n,
+         0, 0, 0, root_tuples, first_rows]
+    ]
+    loose = tight = backward = emitted = 0
+    try:
+        while stack:
+            frame = stack[-1]
+            (cand, index, rest_p, rest_pos_bits, rest_n,
+             x_bits, x_p, x_n, tuples, allowed) = frame
+            size = len(cand)
+            pushed = False
+            while index < size:
+                r = cand[index]
+                index += 1
+                r_bit = 1 << r
+                if r < n_positive:
+                    rest_p -= 1
+                    rest_pos_bits &= ~r_bit
+                    seed_p = x_p + 1
+                    seed_n = x_n
+                else:
+                    rest_n -= 1
+                    seed_p = x_p
+                    seed_n = x_n + 1
+                if allowed is not None and not allowed & r_bit:
+                    continue
+                charge_node()
+                threshold_bits = ((x_bits | r_bit) & positive_mask) | rest_pos_bits
+                if loose_prunable(seed_p, seed_n, rest_p, rest_n, threshold_bits):
+                    loose += 1
+                    continue
+                # Project: keep tuples whose row list contains r (bisect
+                # scan, the authentic per-node cost of pointer FARMER).
+                kept = []
+                for entry in tuples:
+                    rows = entry[1]
+                    position = bisect(rows, r)
+                    if position < len(rows) and rows[position] == r:
+                        kept.append(entry)
+                if not kept:
+                    continue
+                # Count frequencies over the kept tuples' full row lists
+                # (Counter.update walks each list at C speed; key order is
+                # first encounter, same as the explicit nested loop).
+                freq = Counter()
+                freq_update = freq.update
+                for entry in kept:
+                    freq_update(entry[1])
+                n_tuples = len(kept)
+                closure = 0
+                backward_hit = False
+                for row, count in freq.items():
+                    if count == n_tuples:
+                        if row < r and not x_bits >> row & 1:
+                            backward_hit = True
+                            break
+                        closure |= 1 << row
+                if backward_hit:
+                    backward += 1
+                    continue
+                new_cand = sorted(
+                    row
+                    for row, count in freq.items()
+                    if row > r and count < n_tuples
+                )
+                new_x_p = bit_count(closure & positive_mask)
+                new_x_n = bit_count(closure) - new_x_p
+                m_p = 0
+                new_cand_pos_bits = 0
+                for row in new_cand:
+                    if row < n_positive:
+                        m_p += 1
+                        new_cand_pos_bits |= 1 << row
+                new_r_n = len(new_cand) - m_p
+                new_threshold = (closure & positive_mask) | new_cand_pos_bits
+                if tight_prunable(new_x_p, new_x_n, m_p, new_r_n, new_threshold):
+                    tight += 1
+                    continue
+                emitted += 1
+                emit([item for item, _rows in kept], closure, new_x_p, new_x_n)
+                if new_cand:
+                    frame[1] = index
+                    frame[2] = rest_p
+                    frame[3] = rest_pos_bits
+                    frame[4] = rest_n
+                    stack.append(
+                        [new_cand, 0, m_p, new_cand_pos_bits, new_r_n,
+                         closure, new_x_p, new_x_n, kept, None]
+                    )
+                    pushed = True
+                    break
+            if not pushed:
+                stack.pop()
+    finally:
+        stats.loose_pruned += loose
+        stats.tight_pruned += tight
+        stats.backward_pruned += backward
+        stats.groups_emitted += emitted
 
 
 # ---------------------------------------------------------------------------
@@ -437,85 +513,131 @@ def _walk_tree(
     budget: _Budget,
     first_rows: Optional[int] = None,
 ) -> None:
+    support = view.support_index()
     positive_mask = view.positive_mask
     n_positive = view.n_positive
-    item_rows = view.item_rows
+    item_rows = support.item_rows
     bit_count = int.bit_count
     charge_node = budget.charge_node
     loose_prunable = policy.loose_prunable
     tight_prunable = policy.tight_prunable
     emit = policy.emit
+    tree_root = support.tree_root
 
-    root_tree = PrefixTree.from_items(
-        (item, sorted(iter_indices(view.item_rows[item])))
-        for item in view.frequent_items
-    )
-
-    def recurse(
-        x_bits: int, x_p: int, x_n: int, tree: PrefixTree, allowed: Optional[int]
-    ) -> None:
-        # Rows absorbed into X by a closure step remain in the projected
-        # tree's paths; they are not extension candidates.
-        cand = [row for row in tree.rows_present() if not x_bits >> row & 1]
-        # Positive count/bitset of the not-yet-expanded candidates are
-        # maintained decrementally instead of being rescanned per node.
-        rest_p = 0
-        rest_pos_bits = 0
-        for row in cand:
-            if row < n_positive:
-                rest_p += 1
-                rest_pos_bits |= 1 << row
-        rest_n = len(cand) - rest_p
-        for r in cand:
-            r_bit = 1 << r
-            if r < n_positive:
-                rest_p -= 1
-                rest_pos_bits &= ~r_bit
-                seed_p, seed_n = x_p + 1, x_n
-            else:
-                rest_n -= 1
-                seed_p, seed_n = x_p, x_n + 1
-            if allowed is not None and not allowed & r_bit:
-                continue
-            charge_node()
-            threshold_bits = ((x_bits | r_bit) & positive_mask) | rest_pos_bits
-            if loose_prunable(seed_p, seed_n, rest_p, rest_n, threshold_bits):
-                stats.loose_pruned += 1
-                continue
-            projected = tree.project(r)
-            if projected.n_items == 0:
-                continue
-            new_items = projected.all_items()
-            # Closure and backward check use the full item support sets;
-            # the projected tree only keeps rows after r (Section 3's
-            # projected transposed table), so earlier rows must be probed
-            # against the original supports.
-            closure = item_rows[new_items[0]]
-            for item in new_items[1:]:
-                closure &= item_rows[item]
-            if closure & (r_bit - 1) & ~x_bits:
-                stats.backward_pruned += 1
-                continue
-            freq = projected.row_frequencies()
-            new_cand_rows = [
-                row for row in freq if not closure >> row & 1
-            ]
-            new_x_p = bit_count(closure & positive_mask)
-            new_x_n = bit_count(closure) - new_x_p
-            m_p = 0
-            new_cand_pos_bits = 0
-            for row in new_cand_rows:
-                if row < n_positive:
-                    m_p += 1
-                    new_cand_pos_bits |= 1 << row
-            new_r_n = len(new_cand_rows) - m_p
-            new_threshold = (closure & positive_mask) | new_cand_pos_bits
-            if tight_prunable(new_x_p, new_x_n, m_p, new_r_n, new_threshold):
-                stats.tight_pruned += 1
-                continue
-            stats.groups_emitted += 1
-            emit(new_items, closure, new_x_p, new_x_n)
-            if new_cand_rows:
-                recurse(closure, new_x_p, new_x_n, projected, None)
-
-    recurse(0, 0, 0, root_tree, first_rows)
+    # The root tree and its per-row projections are pure functions of the
+    # view; both come from the SupportIndex (kernels only read projected
+    # trees, so sharing them across runs is safe).
+    root_tree = support.root_tree()
+    root_cand = root_tree.rows_present()
+    root_rest_p = 0
+    root_pos_bits = 0
+    for row in root_cand:
+        if row < n_positive:
+            root_rest_p += 1
+            root_pos_bits |= 1 << row
+    root_rest_n = len(root_cand) - root_rest_p
+    # Frame: [cand, index, rest_p, rest_pos_bits, rest_n,
+    #         x_bits, x_p, x_n, tree, allowed].  A child's candidate list
+    # is the parent's frequency-scan survivors sorted ascending — the
+    # same rows the recursive version re-derived from rows_present() at
+    # frame entry (rows absorbed into X by a closure step remain in the
+    # projected tree's paths; they are not extension candidates).
+    stack: list[list] = [
+        [root_cand, 0, root_rest_p, root_pos_bits, root_rest_n,
+         0, 0, 0, root_tree, first_rows]
+    ]
+    loose = tight = backward = emitted = 0
+    try:
+        while stack:
+            frame = stack[-1]
+            (cand, index, rest_p, rest_pos_bits, rest_n,
+             x_bits, x_p, x_n, tree, allowed) = frame
+            size = len(cand)
+            pushed = False
+            while index < size:
+                r = cand[index]
+                index += 1
+                r_bit = 1 << r
+                if r < n_positive:
+                    rest_p -= 1
+                    rest_pos_bits &= ~r_bit
+                    seed_p = x_p + 1
+                    seed_n = x_n
+                else:
+                    rest_n -= 1
+                    seed_p = x_p
+                    seed_n = x_n + 1
+                if allowed is not None and not allowed & r_bit:
+                    continue
+                charge_node()
+                threshold_bits = ((x_bits | r_bit) & positive_mask) | rest_pos_bits
+                if loose_prunable(seed_p, seed_n, rest_p, rest_n, threshold_bits):
+                    loose += 1
+                    continue
+                if x_bits:
+                    projected = tree.project(r)
+                    if projected.n_items == 0:
+                        continue
+                    new_items = projected.all_items()
+                    # Closure and backward check use the full item support
+                    # sets; the projected tree only keeps rows after r
+                    # (Section 3's projected transposed table), so earlier
+                    # rows must be probed against the original supports.
+                    closure = item_rows[new_items[0]]
+                    for item in new_items[1:]:
+                        closure &= item_rows[item]
+                    if closure & (r_bit - 1) & ~x_bits:
+                        backward += 1
+                        continue
+                    new_cand_rows = [
+                        row for row in projected._row_freq
+                        if not closure >> row & 1
+                    ]
+                    new_x_p = bit_count(closure & positive_mask)
+                    new_x_n = bit_count(closure) - new_x_p
+                    m_p = 0
+                    new_cand_pos_bits = 0
+                    for row in new_cand_rows:
+                        if row < n_positive:
+                            m_p += 1
+                            new_cand_pos_bits |= 1 << row
+                    new_r_n = len(new_cand_rows) - m_p
+                    new_threshold = (closure & positive_mask) | new_cand_pos_bits
+                    child_cand = new_cand_rows
+                else:
+                    # Root frame: first-level data memoized on the view.
+                    entry = tree_root(r)
+                    tag = entry[0]
+                    if tag == "empty":
+                        continue
+                    if tag == "backward":
+                        backward += 1
+                        continue
+                    (_, projected, new_items, closure, new_x_p, new_x_n,
+                     child_cand, m_p, new_cand_pos_bits, new_r_n,
+                     new_threshold) = entry
+                if tight_prunable(new_x_p, new_x_n, m_p, new_r_n, new_threshold):
+                    tight += 1
+                    continue
+                emitted += 1
+                emit(new_items, closure, new_x_p, new_x_n)
+                if child_cand:
+                    frame[1] = index
+                    frame[2] = rest_p
+                    frame[3] = rest_pos_bits
+                    frame[4] = rest_n
+                    if x_bits:
+                        child_cand = sorted(child_cand)
+                    stack.append(
+                        [child_cand, 0, m_p, new_cand_pos_bits, new_r_n,
+                         closure, new_x_p, new_x_n, projected, None]
+                    )
+                    pushed = True
+                    break
+            if not pushed:
+                stack.pop()
+    finally:
+        stats.loose_pruned += loose
+        stats.tight_pruned += tight
+        stats.backward_pruned += backward
+        stats.groups_emitted += emitted

@@ -57,6 +57,10 @@ class PrefixTree:
         self.exhausted: list[int] = []
         self.n_items = 0
         self._items_cache: Optional[list[int]] = None
+        # Row frequencies accumulated while the tree is built (insert or
+        # merge), so the step-10 scan is a dict read instead of a header
+        # walk.  Keys appear in the same first-touch order as `header`.
+        self._row_freq: dict[int, int] = {}
 
     @classmethod
     def from_items(cls, tuples: Iterable[tuple[int, Sequence[int]]]) -> "PrefixTree":
@@ -74,6 +78,7 @@ class PrefixTree:
             self.exhausted.append(item)
             return
         node = self.root
+        row_freq = self._row_freq
         for row in rows:
             child = node.children.get(row)
             if child is None:
@@ -81,6 +86,7 @@ class PrefixTree:
                 node.children[row] = child
                 self.header.setdefault(row, []).append(child)
             child.count += 1
+            row_freq[row] = row_freq.get(row, 0) + 1
             node = child
         node.items.append(item)
 
@@ -93,12 +99,10 @@ class PrefixTree:
 
         This is the step-10 frequency scan; thanks to prefix sharing each
         trie node is visited once regardless of how many items pass
-        through it.
+        through it.  The counts are maintained incrementally as the tree
+        is built, so this is a dict copy, not a header walk.
         """
-        return {
-            row: sum(node.count for node in nodes)
-            for row, nodes in self.header.items()
-        }
+        return dict(self._row_freq)
 
     def all_items(self) -> list[int]:
         """Every item represented in this projection (``I(X)``)."""
@@ -123,15 +127,62 @@ class PrefixTree:
         payoff — work is proportional to the number of *trie nodes*
         below ``r``, not to items × path length.
         """
+        nodes = self.header.get(r, ())
+        if len(nodes) == 1:
+            return self._alias_projection(nodes[0])
         projected = PrefixTree()
         collected: list[int] = []
-        for node in self.header.get(r, ()):  # noqa: B008 - dict.get default
+        for node in nodes:
             if node.items:
                 projected.exhausted.extend(node.items)
                 projected.n_items += len(node.items)
                 collected.extend(node.items)
             for child in node.children.values():
                 projected._merge_subtree(projected.root, child, collected)
+        projected._items_cache = collected
+        return projected
+
+    def _alias_projection(self, node: PrefixTreeNode) -> "PrefixTree":
+        """Projection onto a row with a single header node.
+
+        With one source node, every subtree below it lands on a distinct
+        branch of the projection (sibling rows are distinct in a trie),
+        so no paths ever merge and every count is unchanged.  The
+        projected tree can therefore *share* the source subtrees and only
+        build its own header/frequency tables by walking them — no node
+        is copied.  Safe because projections are read-only once built:
+        merging only ever mutates the destination tree's fresh nodes,
+        and an aliased tree is never a merge destination.
+        """
+        projected = PrefixTree()
+        if node.items:
+            projected.exhausted.extend(node.items)
+            projected.n_items = len(node.items)
+        collected = list(node.items)
+        header = projected.header
+        row_freq = projected._row_freq
+        root_children = projected.root.children
+        added_items = 0
+        stack = list(node.children.values())
+        for child in stack:
+            root_children[child.row] = child
+        pop = stack.pop
+        push = stack.extend
+        while stack:
+            current = pop()
+            row = current.row
+            links = header.get(row)
+            if links is None:
+                header[row] = [current]
+            else:
+                links.append(current)
+            row_freq[row] = row_freq.get(row, 0) + current.count
+            items = current.items
+            if items:
+                added_items += len(items)
+                collected.extend(items)
+            push(current.children.values())
+        projected.n_items += added_items
         projected._items_cache = collected
         return projected
 
@@ -143,6 +194,7 @@ class PrefixTree:
     ) -> None:
         """Merge ``source`` (and its subtree) under ``destination``."""
         header = self.header
+        row_freq = self._row_freq
         stack = [(destination, source)]
         pop = stack.pop
         push = stack.append
@@ -160,7 +212,9 @@ class PrefixTree:
                     header[row] = [dst]
                 else:
                     links.append(dst)
-            dst.count += src.count
+            count = src.count
+            dst.count += count
+            row_freq[row] = row_freq.get(row, 0) + count
             items = src.items
             if items:
                 dst.items.extend(items)

@@ -19,6 +19,7 @@ Two orders matter:
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 from typing import Iterable
 
@@ -159,10 +160,45 @@ class TopKList:
     same rule group (possibly discovered provisionally via the single-item
     initialization optimization of Section 4.1.1) is never duplicated and
     can be upgraded in place once its closed upper bound is found.
+
+    ``offer`` is the hottest policy operation of the whole miner (every
+    emitted group is offered to every consequent-class row it covers), so
+    the list keeps two derived structures alongside ``groups``:
+
+    * ``_keys`` — the negated significance keys in ascending order, so an
+      insertion position comes from one :func:`bisect.bisect_right` call.
+      Inserting *after* equal keys reproduces exactly what the previous
+      append-then-stable-sort implementation did, so the tie order (and
+      therefore every downstream result) is bit-identical.
+    * ``_members`` — ``(row_set, consequent) -> RuleGroup`` for O(1)
+      duplicate detection.
+
+    ``kth_conf``/``kth_sup`` cache :meth:`kth_threshold` so the dynamic
+    pruning bounds of Equations 1-2 read two attributes per row instead
+    of calling a method.  All mutation goes through :meth:`offer`, which
+    keeps every derived structure in sync.
     """
 
     k: int
     groups: list[RuleGroup] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._keys: list[tuple[float, int]] = [
+            (-group.confidence, -group.support) for group in self.groups
+        ]
+        self._members: dict[tuple[int, int], RuleGroup] = {
+            (group.row_set, group.consequent): group for group in self.groups
+        }
+        self._refresh_kth()
+
+    def _refresh_kth(self) -> None:
+        if len(self.groups) < self.k:
+            self.kth_conf = 0.0
+            self.kth_sup = 0
+        else:
+            last = self.groups[-1]
+            self.kth_conf = last.confidence
+            self.kth_sup = last.support
 
     def kth_threshold(self) -> tuple[float, int]:
         """Confidence and support of the k-th entry (0, 0 if underfull).
@@ -170,17 +206,13 @@ class TopKList:
         This is the per-row contribution to the dynamic ``minconf`` and
         ``sup`` thresholds of Equations 1 and 2.
         """
-        if len(self.groups) < self.k:
-            return (0.0, 0)
-        last = self.groups[-1]
-        return (last.confidence, last.support)
+        return (self.kth_conf, self.kth_sup)
 
     def would_accept(self, confidence: float, support: int) -> bool:
         """Return True iff a group with these stats would enter the list."""
-        min_conf, min_sup = self.kth_threshold()
-        if confidence != min_conf:
-            return confidence > min_conf
-        return support > min_sup
+        if confidence != self.kth_conf:
+            return confidence > self.kth_conf
+        return support > self.kth_sup
 
     def offer(self, group: RuleGroup) -> bool:
         """Offer a group to the list; return True if the list changed.
@@ -189,18 +221,35 @@ class TopKList:
         antecedent — this realises the paper's "update the single item with
         the upper bound rule" adaptation of Step 13.
         """
-        for index, existing in enumerate(self.groups):
-            if existing.row_set == group.row_set and existing.consequent == group.consequent:
-                if len(group.antecedent) > len(existing.antecedent):
-                    self.groups[index] = group
-                    return True
-                return False
+        identity = (group.row_set, group.consequent)
+        existing = self._members.get(identity)
+        if existing is not None:
+            if len(group.antecedent) > len(existing.antecedent):
+                # Same row set means same significance key, so the upgrade
+                # replaces in place without disturbing the order; bisect
+                # narrows the identity scan to the equal-key run.
+                index = bisect_left(
+                    self._keys, (-existing.confidence, -existing.support)
+                )
+                groups = self.groups
+                while groups[index] is not existing:
+                    index += 1
+                groups[index] = group
+                self._members[identity] = group
+                return True
+            return False
         if not self.would_accept(group.confidence, group.support):
             return False
-        self.groups.append(group)
-        self.groups.sort(key=significance_key, reverse=True)
+        key = (-group.confidence, -group.support)
+        index = bisect_right(self._keys, key)
+        self.groups.insert(index, group)
+        self._keys.insert(index, key)
+        self._members[identity] = group
         if len(self.groups) > self.k:
-            self.groups.pop()
+            dropped = self.groups.pop()
+            self._keys.pop()
+            del self._members[(dropped.row_set, dropped.consequent)]
+        self._refresh_kth()
         return True
 
     def __iter__(self):

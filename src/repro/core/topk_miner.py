@@ -129,8 +129,12 @@ class TopkPolicy:
             confidence=confidence,
         )
         changed = False
-        for position in iter_indices(position_bits & self.view.positive_mask):
-            if self.lists[position].offer(group):
+        lists = self.lists
+        bits = position_bits & self.view.positive_mask
+        while bits:
+            low = bits & -bits
+            bits ^= low
+            if lists[low.bit_length() - 1].offer(group):
                 changed = True
         if changed and self.dynamic_minsup:
             self._maybe_raise_minsup()
@@ -138,11 +142,22 @@ class TopkPolicy:
     # -- internals ---------------------------------------------------------
 
     def _thresholds(self, threshold_bits: int) -> tuple[float, int]:
-        """Equations 1-2: the weakest k-th entry among the given rows."""
+        """Equations 1-2: the weakest k-th entry among the given rows.
+
+        Reads the ``kth_conf``/``kth_sup`` attributes the lists maintain
+        on every change instead of calling ``kth_threshold`` per row —
+        this runs once per pruning check, for every node.
+        """
         min_conf = math.inf
         min_sup = 0
-        for position in iter_indices(threshold_bits):
-            conf, sup = self.lists[position].kth_threshold()
+        lists = self.lists
+        bits = threshold_bits
+        while bits:
+            low = bits & -bits
+            bits ^= low
+            topk = lists[low.bit_length() - 1]
+            conf = topk.kth_conf
+            sup = topk.kth_sup
             if conf < min_conf or (conf == min_conf and sup < min_sup):
                 min_conf = conf
                 min_sup = sup
@@ -291,7 +306,7 @@ def mine_topk(
     node_budget: Optional[int] = None,
     time_budget: Optional[float] = None,
     cancel=None,
-    n_jobs: int = 1,
+    n_jobs: "int | str" = 1,
 ) -> TopkResult:
     """Mine the top-k covering rule groups of every consequent-class row.
 
@@ -320,9 +335,11 @@ def mine_topk(
     shard merge (see :func:`repro.parallel.mine_topk_sharded`).
         n_jobs: worker processes; 1 mines serially in this process, any
             other value dispatches to :mod:`repro.parallel` (``None``/0 =
-            all cores).  The output is bit-identical either way; with
+            all cores, ``"auto"`` lets the execution planner pick serial
+            or parallel from the view's estimated work and the host's
+            core count).  The output is bit-identical either way; with
             workers, ``node_budget`` applies per shard and ``stats`` node
-            counters are summed across shards (see DESIGN.md §7).
+            counters are summed across shards (see DESIGN.md §7, §9).
 
     Returns:
         A :class:`TopkResult` with per-row lists and run statistics.  When
@@ -346,7 +363,7 @@ def mine_topk(
             cancel=cancel,
             n_jobs=n_jobs,
         )
-    view = MiningView(dataset, consequent, minsup)
+    view = MiningView.cached(dataset, consequent, minsup)
     policy = TopkPolicy(
         view,
         k,

@@ -15,6 +15,8 @@ policy (top-k, FARMER) works against this one view.
 
 from __future__ import annotations
 
+import threading
+import weakref
 from typing import TYPE_CHECKING, Optional, Sequence
 
 from .bitset import mask_below, popcount
@@ -22,7 +24,14 @@ from .bitset import mask_below, popcount
 if TYPE_CHECKING:  # pragma: no cover - import is for annotations only
     from ..data.dataset import DiscretizedDataset
 
-__all__ = ["MiningView"]
+__all__ = ["MiningView", "SupportIndex"]
+
+
+# Views keyed by (consequent, minsup) per live dataset object; entries die
+# with the dataset.  Guarded by a lock because the service mines from
+# several job threads at once.
+_VIEW_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+_VIEW_CACHE_LOCK = threading.Lock()
 
 
 class MiningView:
@@ -44,6 +53,29 @@ class MiningView:
         row_items: position -> frozenset of frequent item ids.
         positive_mask: bitset of consequent-class positions.
     """
+
+    @classmethod
+    def cached(
+        cls, dataset: "DiscretizedDataset", consequent: int, minsup: int
+    ) -> "MiningView":
+        """Return a shared view for (dataset, consequent, minsup).
+
+        Views (and the :class:`SupportIndex` each one lazily grows) are
+        pure functions of their arguments, so every miner entry point —
+        serial, sharded, merge, pool worker — can share one instance per
+        live dataset object.  The cache is weak-keyed on the dataset:
+        entries disappear when the dataset is garbage collected.
+        """
+        with _VIEW_CACHE_LOCK:
+            per_dataset = _VIEW_CACHE.get(dataset)
+            if per_dataset is None:
+                per_dataset = _VIEW_CACHE[dataset] = {}
+            view = per_dataset.get((consequent, minsup))
+            if view is None:
+                view = per_dataset[(consequent, minsup)] = cls(
+                    dataset, consequent, minsup
+                )
+            return view
 
     def __init__(
         self, dataset: "DiscretizedDataset", consequent: int, minsup: int
@@ -105,6 +137,18 @@ class MiningView:
             mark = 1 << position
             for item in items:
                 self.item_rows[item] |= mark
+        self._support_index: Optional["SupportIndex"] = None
+
+    def support_index(self) -> "SupportIndex":
+        """The lazily built :class:`SupportIndex` of this view.
+
+        Concurrent first calls may build the index twice; both builds are
+        identical and the assignment is atomic, so the race is benign.
+        """
+        index = self._support_index
+        if index is None:
+            index = self._support_index = SupportIndex(self)
+        return index
 
     def positions_to_rows(self, position_bits: int) -> int:
         """Translate a position-space bitset to an original-row bitset."""
@@ -157,3 +201,165 @@ class MiningView:
         for item in self.frequent_items:
             groups.setdefault(self.item_rows[item], []).append(item)
         return groups
+
+
+class SupportIndex:
+    """Interned supports and first-level memos for one :class:`MiningView`.
+
+    The enumeration kernels spend most of their nodes on the first level
+    of the row enumeration tree (one subtree per row), and everything
+    computed there — item lists, closures, candidate sets, the projected
+    prefix tree — is a pure function of the view.  This index
+
+    * interns the item support bitsets (equal supports share one ``int``
+      object, so repeated intersections reuse cached small-int paths and
+      the pair memo below can key on identity-cheap tuples),
+    * precomputes per-item popcounts (also the planner's work estimate),
+    * memoizes pairwise support intersections on demand, and
+    * memoizes the complete first-level node data per engine family.
+
+    Memoized values are *data only*: pruning decisions and budget charges
+    still happen per run against the live policy, so
+    :class:`~repro.core.enumeration.MinerStats` and results are
+    bit-identical with or without a warm index.  The ``table`` engine
+    deliberately takes no first-level memo — it exists to preserve
+    FARMER's per-node scan cost profile for the Figure 6 comparisons.
+
+    Instances attach to a view (see :meth:`MiningView.support_index`) and
+    share its lifetime; writes from concurrent miners race benignly
+    because every writer computes the same value.
+    """
+
+    EMPTY = ("empty",)
+    BACKWARD = ("backward",)
+
+    def __init__(self, view: MiningView) -> None:
+        self.view = view
+        interned: dict[int, int] = {}
+        self.item_rows: list[int] = [
+            interned.setdefault(rows, rows) for rows in view.item_rows
+        ]
+        self.item_counts: list[int] = [rows.bit_count() for rows in self.item_rows]
+        self.support_mass: int = sum(
+            self.item_counts[item] for item in view.frequent_items
+        )
+        self._pairs: dict[tuple[int, int], int] = {}
+        self._bitset_roots: dict[int, tuple] = {}
+        self._tree_roots: dict[int, tuple] = {}
+        self._root_tree = None
+
+    def pair_rows(self, first: int, second: int) -> int:
+        """Memoized ``R({first}) ∩ R({second})`` for two item ids."""
+        key = (first, second) if first <= second else (second, first)
+        rows = self._pairs.get(key)
+        if rows is None:
+            rows = self._pairs[key] = self.item_rows[first] & self.item_rows[second]
+        return rows
+
+    def bitset_root(self, r: int) -> tuple:
+        """First-level node data of the bitset engine for root row ``r``.
+
+        Returns :data:`EMPTY`, :data:`BACKWARD`, or ``("node", new_items,
+        closure, new_cand, new_x_p, new_x_n, m_p, new_r_n,
+        new_threshold)`` — exactly the values the kernel would compute at
+        the root frame, where the candidate set is always "rows after r".
+        """
+        entry = self._bitset_roots.get(r)
+        if entry is None:
+            entry = self._bitset_roots[r] = self._compute_bitset_root(r)
+        return entry
+
+    def _compute_bitset_root(self, r: int) -> tuple:
+        view = self.view
+        item_rows = self.item_rows
+        new_items = sorted(view.row_items[r])
+        if not new_items:
+            return self.EMPTY
+        if len(new_items) >= 2:
+            closure = self.pair_rows(new_items[0], new_items[1])
+            union = item_rows[new_items[0]] | item_rows[new_items[1]]
+            for item in new_items[2:]:
+                rows = item_rows[item]
+                closure &= rows
+                union |= rows
+        else:
+            closure = union = item_rows[new_items[0]]
+        r_bit = 1 << r
+        if closure & (r_bit - 1):
+            return self.BACKWARD
+        positive_mask = view.positive_mask
+        bit_count = int.bit_count
+        above = mask_below(view.n_rows) & ~(r_bit | (r_bit - 1))
+        new_cand = above & union & ~closure
+        new_x_p = bit_count(closure & positive_mask)
+        new_x_n = bit_count(closure) - new_x_p
+        m_p = bit_count(new_cand & positive_mask)
+        new_r_n = bit_count(new_cand) - m_p
+        new_threshold = (closure | new_cand) & positive_mask
+        return (
+            "node", new_items, closure, new_cand,
+            new_x_p, new_x_n, m_p, new_r_n, new_threshold,
+        )
+
+    def root_tree(self):
+        """The root prefix tree of the tree engine, built once per view."""
+        tree = self._root_tree
+        if tree is None:
+            from .prefix_tree import PrefixTree
+            from .bitset import iter_indices
+
+            view = self.view
+            tree = self._root_tree = PrefixTree.from_items(
+                (item, sorted(iter_indices(view.item_rows[item])))
+                for item in view.frequent_items
+            )
+        return tree
+
+    def tree_root(self, r: int) -> tuple:
+        """First-level node data of the tree engine for root row ``r``.
+
+        Returns :data:`EMPTY`, :data:`BACKWARD`, or ``("node", projected,
+        new_items, closure, new_x_p, new_x_n, child_cand, m_p,
+        cand_pos_bits, new_r_n, new_threshold)``.  The projected subtree
+        is shared across runs; kernels only read projected trees.
+        """
+        entry = self._tree_roots.get(r)
+        if entry is None:
+            entry = self._tree_roots[r] = self._compute_tree_root(r)
+        return entry
+
+    def _compute_tree_root(self, r: int) -> tuple:
+        view = self.view
+        projected = self.root_tree().project(r)
+        if projected.n_items == 0:
+            return self.EMPTY
+        new_items = projected.all_items()
+        item_rows = self.item_rows
+        closure = item_rows[new_items[0]]
+        for item in new_items[1:]:
+            closure &= item_rows[item]
+        r_bit = 1 << r
+        if closure & (r_bit - 1):
+            return self.BACKWARD
+        positive_mask = view.positive_mask
+        n_positive = view.n_positive
+        bit_count = int.bit_count
+        new_cand_rows = [
+            row for row in projected.row_frequencies() if not closure >> row & 1
+        ]
+        new_x_p = bit_count(closure & positive_mask)
+        new_x_n = bit_count(closure) - new_x_p
+        m_p = 0
+        cand_pos_bits = 0
+        for row in new_cand_rows:
+            if row < n_positive:
+                m_p += 1
+                cand_pos_bits |= 1 << row
+        new_r_n = len(new_cand_rows) - m_p
+        new_threshold = (closure & positive_mask) | cand_pos_bits
+        child_cand = sorted(new_cand_rows)
+        return (
+            "node", projected, new_items, closure,
+            new_x_p, new_x_n, child_cand, m_p, cand_pos_bits,
+            new_r_n, new_threshold,
+        )

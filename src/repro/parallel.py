@@ -27,19 +27,42 @@ the serial emissions from its subtrees.  The final merge (offering each
 shard's list entries in ascending shard order into fresh seeded lists)
 then discards exactly the extras.
 
+Execution goes through a persistent :class:`MinerPool` (DESIGN.md §9):
+worker processes are started once and kept warm across mining calls, so
+repeated mines — RCBT's per-class requests, service ``/mine`` jobs, the
+bench harness — pay the fork/spawn tax once instead of per call.
+Datasets ship with each task as a pickled blob tagged by an identity
+token; workers cache the last few decoded datasets by token, so every
+shard (and every later request over the same dataset) after the first
+decodes nothing and reuses the worker-side memoized
+:meth:`~repro.core.view.MiningView.cached` views.
+
+``n_jobs="auto"`` asks the adaptive planner to choose between serial and
+parallel execution: it estimates the enumeration work from the view's
+:class:`~repro.core.view.SupportIndex` (already built for the serial
+single-item initialization) and falls back to serial below a calibrated
+threshold where warm-pool dispatch plus the merge would eat the speedup.
+
 Deviation: ``node_budget`` is applied per shard rather than globally (a
 shared atomic counter would serialize the workers); ``time_budget`` and
-``cancel`` are global, bridged into the workers through a shared event
-polled on the same :data:`~repro.core.enumeration.POLL_STRIDE` node
-stride as the serial budget checks.
+``cancel`` are global, bridged into the workers through a slot of a
+shared flag array polled on the same
+:data:`~repro.core.enumeration.POLL_STRIDE` node stride as the serial
+budget checks.
 """
 
 from __future__ import annotations
 
+import atexit
+import itertools
 import multiprocessing
 import os
+import pickle
+import signal
 import threading
 import time
+import weakref
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable, Optional, Sequence
@@ -54,10 +77,18 @@ if TYPE_CHECKING:  # pragma: no cover - import is for annotations only
     from .data.dataset import DiscretizedDataset
 
 __all__ = [
+    "AUTO_JOBS",
     "MineRequest",
     "FarmerRequest",
+    "MinerPool",
+    "get_pool",
+    "shutdown_pool",
+    "pool_stats",
     "resolve_n_jobs",
     "plan_shards",
+    "plan_auto_workers",
+    "estimate_topk_work",
+    "estimate_farmer_work",
     "merge_stats",
     "mine_topk_sharded",
     "mine_topk_parallel",
@@ -66,15 +97,33 @@ __all__ = [
     "results_equal",
 ]
 
-# How often (seconds) a worker re-reads the shared cancellation event.
-# The event lives in a multiprocessing semaphore, so probing it on every
-# POLL_STRIDE-node check would dominate small shards; the throttle bounds
-# the probe rate while keeping stop latency well under a second.
-_CANCEL_POLL_SECONDS = 0.05
+# Sentinel accepted everywhere an ``n_jobs`` is: let the planner decide.
+AUTO_JOBS = "auto"
 
 # How often (seconds) the parent watcher thread checks the user's cancel
 # token and the global deadline.
 _WATCH_INTERVAL_SECONDS = 0.02
+
+# Cancellation slots in the pool's shared flag array.  Each concurrent
+# _execute call that carries a deadline or cancel token leases one slot
+# for its lifetime; 64 concurrent cancellable mines per process is far
+# beyond what the service's job queue admits.
+_POOL_CANCEL_SLOTS = 64
+
+# Worker-side cache of decoded datasets, keyed by the parent's identity
+# token.  Small: each entry pins a full dataset (and, via the view cache,
+# its SupportIndex memos) in every worker.
+_WORKER_DATASET_CAP = 4
+
+# Planner thresholds, in abstract work units (see estimate_topk_work /
+# estimate_farmer_work).  Calibrated on the bench datasets: warm-pool
+# dispatch plus the ascending-order merge costs ~10-30 ms, so parallel
+# only pays off once the serial mine is well past ~0.1 s.  At the
+# calibration point the ALL-AML top-100 mine (~156k units) runs in
+# ~0.04 s serial (stay serial) while the PC FARMER mine (~350k units)
+# takes seconds (go parallel).
+_AUTO_TOPK_SERIAL_UNITS = 400_000
+_AUTO_FARMER_SERIAL_UNITS = 100_000
 
 
 @dataclass(frozen=True)
@@ -109,8 +158,15 @@ def resolve_n_jobs(n_jobs: Optional[int]) -> int:
 
     ``None`` or ``0`` mean "all cores"; negative values count back from
     the core count (``-1`` = all cores, ``-2`` = all but one, the joblib
-    convention); positive values are used as given.
+    convention); positive values are used as given.  The :data:`AUTO_JOBS`
+    sentinel is workload-dependent and resolved by the mining entry
+    points themselves (via :func:`plan_auto_workers`), not here.
     """
+    if n_jobs == AUTO_JOBS:
+        raise ValueError(
+            "n_jobs='auto' is resolved per workload by the mining entry "
+            "points; resolve_n_jobs only handles integers"
+        )
     cores = os.cpu_count() or 1
     if n_jobs is None or n_jobs == 0:
         return cores
@@ -173,69 +229,78 @@ def merge_stats(shard_stats: Sequence[MinerStats], engine: str) -> MinerStats:
     return total
 
 
-class _ThrottledEvent:
-    """Rate-limited ``is_set()`` view of a multiprocessing event.
-
-    The enumeration budget polls its cancel token every
-    :data:`POLL_STRIDE` nodes; going through to the OS semaphore each
-    time would be slower than the node expansion itself.  Once set, the
-    answer is latched.
-    """
-
-    __slots__ = ("_event", "_interval", "_next_check", "_set")
-
-    def __init__(self, event, interval: float = _CANCEL_POLL_SECONDS) -> None:
-        self._event = event
-        self._interval = interval
-        self._next_check = 0.0
-        self._set = False
-
-    def is_set(self) -> bool:
-        if self._set:
-            return True
-        now = time.monotonic()
-        if now < self._next_check:
-            return False
-        self._next_check = now + self._interval
-        self._set = self._event.is_set()
-        return self._set
-
-
 # -- worker side -------------------------------------------------------------
 
-# Populated by _init_worker in each pool process.  The dataset and the
-# shared cancel event travel once through the initializer instead of with
-# every task; views are memoized because every shard of one request needs
-# the same (deterministically constructed) view.
-_WORKER: dict = {}
+# The pool's shared cancellation flag array, installed once per worker by
+# _pool_worker_init.  A flag is a plain shared-memory byte, so polling it
+# on every POLL_STRIDE-node budget check costs a memory read — no
+# semaphore, no throttling, and cancellation latency is bounded by the
+# node stride alone.
+_WORKER_SLOTS = None
+
+# token -> decoded dataset, most recently used last.
+_WORKER_DATASETS: "OrderedDict[str, DiscretizedDataset]" = OrderedDict()
 
 
-def _init_worker(dataset: "DiscretizedDataset", cancel_event) -> None:
-    _WORKER["dataset"] = dataset
-    _WORKER["cancel"] = (
-        _ThrottledEvent(cancel_event) if cancel_event is not None else None
-    )
-    _WORKER["views"] = {}
+def _pool_worker_init(slots) -> None:
+    global _WORKER_SLOTS
+    _WORKER_SLOTS = slots
+    # A terminal Ctrl-C delivers SIGINT to the whole foreground process
+    # group; warm workers idling on the call queue would die with a
+    # KeyboardInterrupt traceback each.  Their lifecycle belongs to the
+    # parent (MinerPool.close / atexit), so ignore the signal here —
+    # cooperative cancellation flows through the slot array, not signals.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (OSError, ValueError):  # non-main thread or exotic platform
+        pass
 
 
-def _worker_view(consequent: int, minsup: int) -> MiningView:
-    key = (consequent, minsup)
-    view = _WORKER["views"].get(key)
-    if view is None:
-        view = MiningView(_WORKER["dataset"], consequent, minsup)
-        _WORKER["views"][key] = view
-    return view
+class _SlotCancel:
+    """Cancel token reading one slot of the shared flag array."""
+
+    __slots__ = ("_slots", "_index")
+
+    def __init__(self, slots, index: int) -> None:
+        self._slots = slots
+        self._index = index
+
+    def is_set(self) -> bool:
+        return self._slots[self._index] != 0
 
 
-def _run_shard(kind: str, request, shard_mask: int):
+def _worker_dataset(token: str, blob: bytes) -> "DiscretizedDataset":
+    dataset = _WORKER_DATASETS.get(token)
+    if dataset is None:
+        dataset = pickle.loads(blob)
+        _WORKER_DATASETS[token] = dataset
+        while len(_WORKER_DATASETS) > _WORKER_DATASET_CAP:
+            _WORKER_DATASETS.popitem(last=False)
+    else:
+        _WORKER_DATASETS.move_to_end(token)
+    return dataset
+
+
+def _run_shard(kind: str, request, shard_mask: int, token: str, blob: bytes,
+               slot: int):
     """Mine one shard; returns (payload, stats) in position space.
 
     ``payload`` is a list of per-position group lists for top-k requests
     and a flat group list for FARMER requests.  Groups stay in position
     space — the parent translates to row ids once, after merging.
+
+    The dataset arrives as ``(token, blob)``: the blob is decoded at most
+    once per worker and token, so every shard after the first reuses the
+    cached dataset and — through ``MiningView.cached`` — the memoized
+    view and its ``SupportIndex`` root-level results.
     """
-    view = _worker_view(request.consequent, request.minsup)
-    cancel = _WORKER["cancel"]
+    dataset = _worker_dataset(token, blob)
+    view = MiningView.cached(dataset, request.consequent, request.minsup)
+    cancel = (
+        _SlotCancel(_WORKER_SLOTS, slot)
+        if slot >= 0 and _WORKER_SLOTS is not None
+        else None
+    )
     if kind == "topk":
         policy = TopkPolicy(
             view,
@@ -275,62 +340,287 @@ def _mp_context():
     return multiprocessing.get_context("fork" if "fork" in methods else None)
 
 
+class MinerPool:
+    """A lazily started, persistent pool of warm mining workers.
+
+    The first mining call starts the worker processes; later calls reuse
+    them, so the per-call cost drops from fork + import + dataset decode
+    to task dispatch alone.  The pool grows (never shrinks) to the
+    largest worker count requested so far; growing replaces the executor
+    — in-flight shards on the old one still finish — and bumps
+    ``started``.  :meth:`close` shuts the workers down; the next use
+    transparently starts a fresh generation, which also keeps the pool
+    safe to use after ``os.fork`` (the module resets the default pool in
+    forked children).
+
+    Cancellation plumbing lives here too: the pool owns a small shared
+    flag array created before the first worker (so both fork and spawn
+    contexts inherit it), and each cancellable mining call leases one
+    slot of it for its lifetime.
+
+    Attributes:
+        started: executor generations created (cold starts + grows).
+        reuses: calls served by an already-running executor.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        self._ctx = _mp_context()
+        self._lock = threading.Lock()
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._size = 0
+        self._max_workers = max_workers
+        self._slots = None
+        self._free_slots: list[int] = []
+        self.started = 0
+        self.reuses = 0
+
+    @property
+    def size(self) -> int:
+        """Current worker-process count (0 when not started)."""
+        return self._size
+
+    def _ensure_slots(self) -> None:
+        if self._slots is None:
+            self._slots = self._ctx.RawArray("b", _POOL_CANCEL_SLOTS)
+            self._free_slots = list(range(_POOL_CANCEL_SLOTS))
+
+    def executor(self, n_workers: int) -> ProcessPoolExecutor:
+        """Return a running executor with at least ``n_workers`` workers."""
+        with self._lock:
+            wanted = max(1, int(n_workers))
+            if self._max_workers is not None:
+                wanted = min(wanted, self._max_workers)
+            self._ensure_slots()
+            current = self._executor
+            if (
+                current is not None
+                and self._size >= wanted
+                and not getattr(current, "_broken", False)
+            ):
+                self.reuses += 1
+                return current
+            if current is not None and self._size > wanted:
+                # Broken executor (a worker died); restart at the old size.
+                wanted = self._size
+            replacement = ProcessPoolExecutor(
+                max_workers=wanted,
+                mp_context=self._ctx,
+                initializer=_pool_worker_init,
+                initargs=(self._slots,),
+            )
+            self._executor = replacement
+            self._size = wanted
+            self.started += 1
+            if current is not None:
+                # In-flight tasks on the old executor still complete;
+                # wait=False only stops it from accepting new work.
+                current.shutdown(wait=False)
+            return replacement
+
+    def acquire_slot(self) -> int:
+        """Lease a cancellation slot (cleared); pair with release_slot."""
+        with self._lock:
+            self._ensure_slots()
+            if not self._free_slots:
+                raise RuntimeError(
+                    "all cancellation slots are leased — more than "
+                    f"{_POOL_CANCEL_SLOTS} concurrent cancellable mines"
+                )
+            index = self._free_slots.pop()
+            self._slots[index] = 0
+            return index
+
+    def cancel_slot(self, index: int) -> None:
+        """Signal the workers polling ``index`` to stop."""
+        self._slots[index] = 1
+
+    def release_slot(self, index: int) -> None:
+        with self._lock:
+            self._slots[index] = 0
+            self._free_slots.append(index)
+
+    def close(self, wait: bool = True) -> None:
+        """Shut the workers down.  The pool restarts on next use."""
+        with self._lock:
+            executor = self._executor
+            self._executor = None
+            self._size = 0
+        if executor is not None:
+            executor.shutdown(wait=wait)
+
+
+_DEFAULT_POOL: Optional[MinerPool] = None
+_DEFAULT_POOL_LOCK = threading.Lock()
+
+# Planner decisions (n_jobs="auto" resolving to serial) are counted
+# globally, not per pool: the fallback path never touches the pool.
+_PLANNER_LOCK = threading.Lock()
+_PLANNER_SERIAL_FALLBACKS = 0
+
+
+def get_pool() -> MinerPool:
+    """The process-wide default :class:`MinerPool` (created on first use)."""
+    global _DEFAULT_POOL
+    with _DEFAULT_POOL_LOCK:
+        if _DEFAULT_POOL is None:
+            _DEFAULT_POOL = MinerPool()
+            atexit.register(_DEFAULT_POOL.close)
+        return _DEFAULT_POOL
+
+
+def shutdown_pool(wait: bool = True) -> None:
+    """Close the default pool's workers (it restarts on next use)."""
+    pool = _DEFAULT_POOL
+    if pool is not None:
+        pool.close(wait=wait)
+
+
+def pool_stats() -> dict:
+    """Counters for telemetry: pool starts/reuses and planner fallbacks."""
+    pool = _DEFAULT_POOL
+    return {
+        "miner_pool_started": pool.started if pool is not None else 0,
+        "miner_pool_reuses": pool.reuses if pool is not None else 0,
+        "planner_serial_fallbacks": _PLANNER_SERIAL_FALLBACKS,
+    }
+
+
+def _reset_default_pool_after_fork() -> None:
+    # A forked child inherits a pool whose processes belong to the
+    # parent; drop it so the child lazily starts its own.  (This also
+    # fires in the pool's own fork-context workers, which is exactly
+    # right — they must not submit to the parent's executor.)
+    global _DEFAULT_POOL, _DEFAULT_POOL_LOCK
+    _DEFAULT_POOL_LOCK = threading.Lock()
+    _DEFAULT_POOL = None
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - POSIX containers
+    os.register_at_fork(after_in_child=_reset_default_pool_after_fork)
+
+
+# Parent-side dataset identity tokens.  The same dataset *object* keeps
+# the same token (and pickled blob) across calls, which is what lets the
+# workers' token-keyed cache skip decoding; a new or mutated-and-reloaded
+# dataset object gets a fresh token.  Datasets are treated as immutable
+# once built, as everywhere else in the package.
+_DATASET_TOKENS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+_DATASET_LOCK = threading.Lock()
+_TOKEN_COUNTER = itertools.count(1)
+
+
+def _dataset_payload(dataset: "DiscretizedDataset") -> tuple[str, bytes]:
+    with _DATASET_LOCK:
+        entry = _DATASET_TOKENS.get(dataset)
+        if entry is None:
+            token = f"{os.getpid()}-{next(_TOKEN_COUNTER)}"
+            blob = pickle.dumps(dataset, protocol=pickle.HIGHEST_PROTOCOL)
+            entry = (token, blob)
+            _DATASET_TOKENS[dataset] = entry
+        return entry
+
+
+# -- adaptive planner --------------------------------------------------------
+
+
+def estimate_topk_work(view: MiningView, k: int) -> int:
+    """Abstract work units for one top-k mine over ``view``.
+
+    ``support_mass`` (the summed support of all frequent items, free from
+    the view's :class:`SupportIndex`) tracks how much intersection work
+    each enumeration node costs; the ``1 + k`` factor tracks how deep the
+    dynamic thresholds let the tree grow before top-k pruning bites
+    (k=1 trees collapse almost immediately, k=100 trees do not).
+    """
+    return view.support_index().support_mass * (1 + k)
+
+
+def estimate_farmer_work(view: MiningView) -> int:
+    """Abstract work units for one FARMER mine over ``view``.
+
+    FARMER has no top-k pruning, so the tree size scales with the number
+    of enumerable rows instead of ``k``.
+    """
+    return view.support_index().support_mass * max(1, view.n_rows)
+
+
+def plan_auto_workers(work_units: int, serial_threshold: int) -> int:
+    """Resolve ``n_jobs="auto"``: 1 (serial) or all cores.
+
+    Serial when the machine has a single core or the estimated work is
+    below ``serial_threshold`` — there the warm-pool dispatch and merge
+    overhead (~tens of milliseconds) rivals the mine itself.  Every
+    serial decision increments the ``planner_serial_fallbacks`` counter
+    surfaced by :func:`pool_stats`.
+    """
+    global _PLANNER_SERIAL_FALLBACKS
+    cores = os.cpu_count() or 1
+    if cores <= 1 or work_units < serial_threshold:
+        with _PLANNER_LOCK:
+            _PLANNER_SERIAL_FALLBACKS += 1
+        return 1
+    return cores
+
+
 def _execute(
     dataset: "DiscretizedDataset",
     jobs: Sequence[tuple[str, object, int]],
     n_jobs: int,
     time_budget: Optional[float] = None,
     cancel=None,
+    pool: Optional[MinerPool] = None,
 ) -> list[tuple[object, MinerStats]]:
-    """Run ``(kind, request, shard_mask)`` jobs on a process pool.
+    """Run ``(kind, request, shard_mask)`` jobs on the warm miner pool.
 
     Results come back in submission order.  ``time_budget`` / ``cancel``
-    are bridged to the workers through a shared event set by a watcher
-    thread in this process; workers poll it cooperatively and return
-    their partial results with ``stats.completed`` False.
+    are bridged to the workers through a leased slot of the pool's shared
+    flag array, set by a watcher thread in this process; workers poll it
+    cooperatively and return their partial results with
+    ``stats.completed`` False.
     """
     if not jobs:
         return []
-    ctx = _mp_context()
-    event = ctx.Event() if (time_budget is not None or cancel is not None) else None
+    if pool is None:
+        pool = get_pool()
+    token, blob = _dataset_payload(dataset)
+    slot = -1
     watcher: Optional[threading.Thread] = None
     stop_watching = threading.Event()
-    if event is not None:
+    if time_budget is not None or cancel is not None:
+        slot = pool.acquire_slot()
         deadline = (
             time.monotonic() + time_budget if time_budget is not None else None
         )
         if cancel is not None and cancel.is_set():
-            event.set()
+            pool.cancel_slot(slot)
+        else:
+            def _watch() -> None:
+                while not stop_watching.wait(_WATCH_INTERVAL_SECONDS):
+                    if cancel is not None and cancel.is_set():
+                        pool.cancel_slot(slot)
+                        return
+                    if deadline is not None and time.monotonic() > deadline:
+                        pool.cancel_slot(slot)
+                        return
 
-        def _watch() -> None:
-            while not stop_watching.wait(_WATCH_INTERVAL_SECONDS):
-                if cancel is not None and cancel.is_set():
-                    event.set()
-                    return
-                if deadline is not None and time.monotonic() > deadline:
-                    event.set()
-                    return
-
-        watcher = threading.Thread(
-            target=_watch, name="repro-parallel-watch", daemon=True
-        )
-        watcher.start()
+            watcher = threading.Thread(
+                target=_watch, name="repro-parallel-watch", daemon=True
+            )
+            watcher.start()
     try:
-        with ProcessPoolExecutor(
-            max_workers=min(n_jobs, len(jobs)),
-            mp_context=ctx,
-            initializer=_init_worker,
-            initargs=(dataset, event),
-        ) as pool:
-            futures = [
-                pool.submit(_run_shard, kind, request, shard_mask)
-                for kind, request, shard_mask in jobs
-            ]
-            return [future.result() for future in futures]
+        executor = pool.executor(min(n_jobs, len(jobs)))
+        futures = [
+            executor.submit(_run_shard, kind, request, shard_mask, token, blob,
+                            slot)
+            for kind, request, shard_mask in jobs
+        ]
+        return [future.result() for future in futures]
     finally:
         stop_watching.set()
         if watcher is not None:
             watcher.join()
+        if slot >= 0:
+            pool.release_slot(slot)
 
 
 def _merge_topk(
@@ -345,7 +635,7 @@ def _merge_topk(
     confidence/support ties by insertion order, so any other merge order
     could flip a tie against the serial result.
     """
-    view = MiningView(dataset, request.consequent, request.minsup)
+    view = MiningView.cached(dataset, request.consequent, request.minsup)
     policy = TopkPolicy(
         view,
         request.k,
@@ -382,10 +672,23 @@ def mine_topk_sharded(
     single executor keeps every worker busy even when one class's tree
     is much larger than another's.
 
+    ``n_jobs="auto"`` lets the planner pick serial or all-cores from the
+    estimated total work of the batch (:func:`estimate_topk_work`).
+
     Returns one :class:`TopkResult` per request, in request order; each
     is bit-identical to the corresponding serial :func:`mine_topk` call.
     """
-    n_workers = resolve_n_jobs(n_jobs)
+    if n_jobs == AUTO_JOBS:
+        total_units = sum(
+            estimate_topk_work(
+                MiningView.cached(dataset, request.consequent, request.minsup),
+                request.k,
+            )
+            for request in requests
+        )
+        n_workers = plan_auto_workers(total_units, _AUTO_TOPK_SERIAL_UNITS)
+    else:
+        n_workers = resolve_n_jobs(n_jobs)
     if n_workers <= 1:
         from .core.topk_miner import mine_topk
 
@@ -408,7 +711,7 @@ def mine_topk_sharded(
     jobs: list[tuple[str, object, int]] = []
     spans: list[tuple[int, int]] = []
     for request in requests:
-        view = MiningView(dataset, request.consequent, request.minsup)
+        view = MiningView.cached(dataset, request.consequent, request.minsup)
         shards = plan_shards(view.n_rows, n_workers)
         spans.append((len(jobs), len(jobs) + len(shards)))
         jobs.extend(("topk", request, mask) for mask in shards)
@@ -440,7 +743,7 @@ def mine_topk_parallel(
     n_jobs: Optional[int] = None,
 ) -> TopkResult:
     """Parallel :func:`~repro.core.topk_miner.mine_topk` — same signature
-    plus ``n_jobs``, bit-identical output."""
+    plus ``n_jobs`` (``"auto"`` allowed), bit-identical output."""
     request = MineRequest(
         consequent=consequent,
         minsup=minsup,
@@ -475,8 +778,15 @@ def mine_farmer_parallel(
     merge is a concatenation in ascending shard order — exactly the
     serial emission (DFS) order.  ``max_groups`` caps each shard, and the
     merged list is truncated to the serial stopping point.
+    ``n_jobs="auto"`` plans from :func:`estimate_farmer_work`.
     """
-    n_workers = resolve_n_jobs(n_jobs)
+    if n_jobs == AUTO_JOBS:
+        view = MiningView.cached(dataset, consequent, minsup)
+        n_workers = plan_auto_workers(
+            estimate_farmer_work(view), _AUTO_FARMER_SERIAL_UNITS
+        )
+    else:
+        n_workers = resolve_n_jobs(n_jobs)
     if n_workers <= 1:
         from .baselines.farmer import mine_farmer
 
@@ -500,7 +810,7 @@ def mine_farmer_parallel(
         max_groups=max_groups,
         min_chi_square=min_chi_square,
     )
-    view = MiningView(dataset, consequent, minsup)
+    view = MiningView.cached(dataset, consequent, minsup)
     shards = plan_shards(view.n_rows, n_workers)
     jobs = [("farmer", request, mask) for mask in shards]
     outputs = _execute(dataset, jobs, n_workers, time_budget, cancel)
@@ -535,14 +845,18 @@ def parallel_map(
 
     ``fn`` must be picklable (a module-level function).  With one worker
     (or one item) the map runs inline, so callers can pass user-facing
-    ``n_jobs`` straight through.
+    ``n_jobs`` straight through (``"auto"`` maps to all cores here — the
+    planner's cost model only covers mining).  Runs on the warm
+    :class:`MinerPool`, so a CV sweep shares workers with the miners.
     """
     work = list(items)
+    if n_jobs == AUTO_JOBS:
+        n_jobs = None
     n_workers = min(resolve_n_jobs(n_jobs), max(1, len(work)))
     if n_workers <= 1 or len(work) <= 1:
         return [fn(item) for item in work]
-    with ProcessPoolExecutor(max_workers=n_workers, mp_context=_mp_context()) as pool:
-        return list(pool.map(fn, work))
+    executor = get_pool().executor(n_workers)
+    return list(executor.map(fn, work))
 
 
 def results_equal(a: TopkResult, b: TopkResult) -> bool:

@@ -45,6 +45,7 @@ from ..core.topk_miner import TopkResult, mine_topk, relative_minsup
 from ..data.dataset import GeneExpressionDataset
 from ..data.discretize import EntropyDiscretizer
 from ..data.loaders import discretized_from_payload
+from ..parallel import AUTO_JOBS, pool_stats
 from .batching import MicroBatcher
 from .cache import MiningCache, dataset_fingerprint, mining_key
 from .jobs import DONE, JobQueue
@@ -119,9 +120,10 @@ class RuleService:
         mining_workers: worker threads of the mining job queue.
         mine_jobs: worker *processes* each mining job may use (the cap
             for per-request ``n_jobs``).  1 keeps mining in the job
-            thread; more hands the enumeration to the process-pool
-            backend of :mod:`repro.parallel`, so CPU-bound mining no
-            longer serializes behind the GIL.  Results are bit-identical
+            thread; more hands the enumeration to the warm process pool
+            of :mod:`repro.parallel`, so CPU-bound mining no longer
+            serializes behind the GIL; ``"auto"`` lets the adaptive
+            planner choose per workload.  Results are bit-identical
             either way, so the mining cache key is unaffected.
         node_budget / time_budget: default per-job mining budgets
             (overridable per request).
@@ -139,8 +141,8 @@ class RuleService:
         batch_rows: int = 256,
         batch_delay: float = 0.002,
     ) -> None:
-        if mine_jobs < 1:
-            raise ValueError(f"mine_jobs must be >= 1, got {mine_jobs}")
+        if mine_jobs != AUTO_JOBS and mine_jobs < 1:
+            raise ValueError(f"mine_jobs must be >= 1 or 'auto', got {mine_jobs}")
         self.registry = ModelRegistry(models_dir)
         self.cache = MiningCache(cache_bytes)
         self.jobs = JobQueue(workers=mining_workers)
@@ -171,6 +173,11 @@ class RuleService:
                 f"{name}@v{version}": batcher.stats()
                 for (name, version), batcher in sorted(self._batchers.items())
             }
+        # The warm miner pool and the execution planner live in
+        # repro.parallel, shared by every embedder of this service;
+        # sample their counters into gauges at scrape time.
+        for name, value in pool_stats().items():
+            self.telemetry.set_gauge(name, value)
         return self.telemetry.snapshot(
             extra={
                 "cache": self.cache.stats(),
@@ -352,15 +359,26 @@ class RuleService:
         time_budget = _validate_budget(
             body, "time_budget", self.time_budget, integral=False
         )
-        try:
-            n_jobs = int(body.get("n_jobs", self.mine_jobs))
-        except (TypeError, ValueError):
-            raise ServiceError(400, "'n_jobs' must be an integer")
-        if n_jobs < 1:
-            raise ServiceError(400, f"n_jobs must be >= 1, got {n_jobs}")
-        # Cap per-request parallelism at the operator's configuration so
-        # one client cannot fan a single job out over every core.
-        n_jobs = min(n_jobs, self.mine_jobs)
+        n_jobs = body.get("n_jobs", self.mine_jobs)
+        if n_jobs == AUTO_JOBS:
+            # The adaptive planner decides serial vs parallel per
+            # workload; an operator who pinned mine_jobs to 1 has
+            # disabled parallel mining, which overrides the request.
+            if self.mine_jobs != AUTO_JOBS and self.mine_jobs <= 1:
+                n_jobs = 1
+        else:
+            try:
+                n_jobs = int(n_jobs)
+            except (TypeError, ValueError):
+                raise ServiceError(400, "'n_jobs' must be an integer or 'auto'")
+            if n_jobs < 1:
+                raise ServiceError(400, f"n_jobs must be >= 1, got {n_jobs}")
+            # Cap per-request parallelism at the operator's configuration
+            # so one client cannot fan a single job out over every core
+            # (an 'auto' operator configuration delegates the cap to the
+            # planner, which never exceeds the core count).
+            if self.mine_jobs != AUTO_JOBS:
+                n_jobs = min(n_jobs, self.mine_jobs)
 
         def run(job):
             try:
@@ -368,6 +386,11 @@ class RuleService:
                     dataset, consequent, minsup, k=k, engine=engine,
                     node_budget=node_budget, time_budget=time_budget,
                     cancel=job.cancel_event, n_jobs=n_jobs,
+                )
+                # Pure enumeration time, excluding queueing, dataset
+                # decoding and result serialization.
+                self.telemetry.observe(
+                    "kernel_seconds", result.stats.elapsed_seconds
                 )
                 if result.stats.completed:
                     self.cache.put(key, result)

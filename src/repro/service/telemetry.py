@@ -63,11 +63,18 @@ class LatencyHistogram:
 
 
 class Telemetry:
-    """Thread-safe registry of counters and latency histograms."""
+    """Thread-safe registry of counters, gauges and latency histograms.
+
+    Counters are monotonic (``increment``); gauges are last-write-wins
+    (``set_gauge``) and carry values sampled from elsewhere at snapshot
+    time — the miner-pool and planner statistics of
+    :func:`repro.parallel.pool_stats` are exported this way.
+    """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
         self._histograms: dict[str, LatencyHistogram] = {}
 
     def increment(self, name: str, amount: int = 1) -> None:
@@ -88,11 +95,22 @@ class Telemetry:
         with self._lock:
             return self._counters.get(name, 0)
 
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set the named gauge to ``value`` (last write wins)."""
+        with self._lock:
+            self._gauges[name] = value
+
+    def gauge(self, name: str) -> float:
+        """Current value of a gauge (0 if never set)."""
+        with self._lock:
+            return self._gauges.get(name, 0)
+
     def snapshot(self, extra: Optional[dict] = None) -> dict:
-        """JSON-safe view of every counter and histogram."""
+        """JSON-safe view of every counter, gauge and histogram."""
         with self._lock:
             payload = {
                 "counters": dict(sorted(self._counters.items())),
+                "gauges": dict(sorted(self._gauges.items())),
                 "latency": {
                     name: histogram.as_dict()
                     for name, histogram in sorted(self._histograms.items())

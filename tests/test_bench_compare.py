@@ -1,0 +1,100 @@
+"""The bench baseline-comparison gate (``repro bench --compare``).
+
+Pure-payload tests over :func:`repro.bench.compare_reports`: the gate
+must fail only on real serial regressions (ratio *and* absolute delta),
+skip workloads whose configuration changed, and never crash on a
+baseline from a different host.
+"""
+
+from __future__ import annotations
+
+from repro.bench import (
+    REGRESSION_FACTOR,
+    REGRESSION_MIN_DELTA_SECONDS,
+    compare_reports,
+)
+
+_HOST = {"platform": "test", "cpu_count": 1}
+
+
+def _report(*benchmarks, host=_HOST):
+    return {"host": host, "config": {}, "benchmarks": list(benchmarks)}
+
+
+def _entry(name="w", serial=1.0, **overrides):
+    entry = {
+        "name": name,
+        "dataset": "ALL",
+        "miner": "topk",
+        "engine": "tree",
+        "k": 100,
+        "minsup": 25,
+        "n_rows": 38,
+        "serial_seconds": serial,
+    }
+    entry.update(overrides)
+    return entry
+
+
+class TestCompareReports:
+    def test_identical_is_ok(self):
+        lines, ok = compare_reports(_report(_entry()), _report(_entry()))
+        assert ok
+        assert "1 compared" in lines[0]
+        assert "ok" in lines[0]
+
+    def test_faster_is_ok(self):
+        _lines, ok = compare_reports(
+            _report(_entry(serial=0.5)), _report(_entry(serial=1.0))
+        )
+        assert ok
+
+    def test_large_regression_fails(self):
+        lines, ok = compare_reports(
+            _report(_entry(serial=2.5)), _report(_entry(serial=1.0))
+        )
+        assert not ok
+        assert any("REGRESSION" in line for line in lines)
+
+    def test_ratio_alone_does_not_fail_tiny_workloads(self):
+        """A sub-millisecond mine doubling is scheduler jitter, not an
+        algorithmic regression: the absolute-delta floor must hold."""
+        base = REGRESSION_MIN_DELTA_SECONDS / 10
+        _lines, ok = compare_reports(
+            _report(_entry(serial=base * 3)), _report(_entry(serial=base))
+        )
+        assert ok
+
+    def test_delta_alone_does_not_fail(self):
+        """Slower in absolute terms but within the ratio threshold."""
+        _lines, ok = compare_reports(
+            _report(_entry(serial=1.9)), _report(_entry(serial=1.0))
+        )
+        assert ok
+        assert REGRESSION_FACTOR >= 1.9
+
+    def test_missing_baseline_entry_skipped(self):
+        lines, ok = compare_reports(
+            _report(_entry(name="new-workload")), _report(_entry(name="old"))
+        )
+        assert ok
+        assert "0 compared" in lines[0]
+        assert any("no baseline entry" in line for line in lines)
+
+    def test_changed_workload_skipped(self):
+        """A k change makes the wall-clock diff meaningless — even a huge
+        slowdown must be skipped, not flagged."""
+        lines, ok = compare_reports(
+            _report(_entry(serial=100.0, k=100)),
+            _report(_entry(serial=1.0, k=10)),
+        )
+        assert ok
+        assert any("workload changed (k)" in line for line in lines)
+
+    def test_host_mismatch_noted(self):
+        lines, ok = compare_reports(
+            _report(_entry()),
+            _report(_entry(), host={"platform": "other", "cpu_count": 64}),
+        )
+        assert ok
+        assert any("baseline host differs" in line for line in lines)

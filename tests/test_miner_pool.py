@@ -1,0 +1,203 @@
+"""The persistent warm miner pool and the adaptive execution planner.
+
+:class:`repro.parallel.MinerPool` replaces per-call executors: workers
+start once, stay warm, and later mines ride already-running processes.
+These tests pin the lifecycle contract (reuse counters, grow-replaces,
+close-then-restart, cancellation-slot leasing) and the planner contract
+(``n_jobs="auto"`` resolves to serial below the work threshold or on a
+single-core host, to all cores otherwise — and changes nothing about the
+mined output either way).
+
+Pool tests use private :class:`MinerPool` instances so the process-wide
+default pool's state (warmed by other test modules) never leaks in;
+planner tests monkeypatch ``os.cpu_count`` so they are deterministic on
+any host.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.parallel as parallel_mod
+from repro.core.topk_miner import mine_topk
+from repro.parallel import (
+    AUTO_JOBS,
+    MinerPool,
+    _AUTO_TOPK_SERIAL_UNITS,
+    _POOL_CANCEL_SLOTS,
+    estimate_farmer_work,
+    estimate_topk_work,
+    get_pool,
+    plan_auto_workers,
+    pool_stats,
+    results_equal,
+)
+from repro.core.view import MiningView
+
+
+class TestMinerPoolLifecycle:
+    def test_reuse_counts(self):
+        pool = MinerPool()
+        try:
+            first = pool.executor(2)
+            assert pool.size == 2
+            assert (pool.started, pool.reuses) == (1, 0)
+            second = pool.executor(2)
+            assert second is first
+            assert (pool.started, pool.reuses) == (1, 1)
+            # A smaller request also rides the running executor.
+            third = pool.executor(1)
+            assert third is first
+            assert (pool.started, pool.reuses) == (1, 2)
+        finally:
+            pool.close()
+
+    def test_grow_replaces_executor(self):
+        pool = MinerPool()
+        try:
+            small = pool.executor(2)
+            grown = pool.executor(3)
+            assert grown is not small
+            assert pool.size == 3
+            assert pool.started == 2
+            # The grown executor actually runs tasks.
+            assert grown.submit(int, "7").result(timeout=30) == 7
+        finally:
+            pool.close()
+
+    def test_close_then_restart(self):
+        pool = MinerPool()
+        try:
+            pool.executor(2)
+            pool.close()
+            assert pool.size == 0
+            revived = pool.executor(2)
+            assert pool.size == 2
+            assert pool.started == 2
+            assert revived.submit(int, "3").result(timeout=30) == 3
+        finally:
+            pool.close()
+
+    def test_max_workers_cap(self):
+        pool = MinerPool(max_workers=2)
+        try:
+            pool.executor(8)
+            assert pool.size == 2
+        finally:
+            pool.close()
+
+    def test_slot_lease_cycle(self):
+        pool = MinerPool()
+        first = pool.acquire_slot()
+        second = pool.acquire_slot()
+        assert first != second
+        pool.cancel_slot(first)
+        assert pool._slots[first] == 1
+        assert pool._slots[second] == 0
+        pool.release_slot(first)
+        assert pool._slots[first] == 0
+        # The released slot is leasable again.
+        leased = {pool.acquire_slot() for _ in range(2)}
+        assert first in leased
+        pool.release_slot(second)
+
+    def test_slot_exhaustion_raises(self):
+        pool = MinerPool()
+        leased = [pool.acquire_slot() for _ in range(_POOL_CANCEL_SLOTS)]
+        with pytest.raises(RuntimeError):
+            pool.acquire_slot()
+        for index in leased:
+            pool.release_slot(index)
+
+    def test_default_pool_is_singleton(self):
+        assert get_pool() is get_pool()
+
+    def test_pool_stats_keys(self):
+        stats = pool_stats()
+        assert set(stats) == {
+            "miner_pool_started",
+            "miner_pool_reuses",
+            "planner_serial_fallbacks",
+        }
+        assert all(isinstance(v, int) and v >= 0 for v in stats.values())
+
+
+class TestAdaptivePlanner:
+    def test_serial_below_threshold(self, monkeypatch):
+        monkeypatch.setattr(parallel_mod.os, "cpu_count", lambda: 4)
+        before = pool_stats()["planner_serial_fallbacks"]
+        assert plan_auto_workers(10, serial_threshold=100) == 1
+        assert pool_stats()["planner_serial_fallbacks"] == before + 1
+
+    def test_parallel_above_threshold(self, monkeypatch):
+        monkeypatch.setattr(parallel_mod.os, "cpu_count", lambda: 4)
+        before = pool_stats()["planner_serial_fallbacks"]
+        assert plan_auto_workers(1_000_000, serial_threshold=100) == 4
+        assert pool_stats()["planner_serial_fallbacks"] == before
+
+    def test_single_core_always_serial(self, monkeypatch):
+        monkeypatch.setattr(parallel_mod.os, "cpu_count", lambda: 1)
+        assert plan_auto_workers(10**12, serial_threshold=100) == 1
+
+    def test_work_estimates_scale(self, small_random):
+        view = MiningView.cached(small_random, 0, 2)
+        mass = view.support_index().support_mass
+        assert mass > 0
+        assert estimate_topk_work(view, 1) == mass * 2
+        assert estimate_topk_work(view, 100) == mass * 101
+        assert estimate_farmer_work(view) == mass * max(1, view.n_rows)
+        # FARMER trees (no top-k pruning) always cost at least as much
+        # as a k=1 top-k mine of the same view.
+        assert estimate_farmer_work(view) >= estimate_topk_work(view, 1)
+
+    def test_auto_matches_serial_bit_for_bit(self, small_random):
+        for consequent in (0, 1):
+            serial = mine_topk(small_random, consequent, 2, k=4)
+            auto = mine_topk(small_random, consequent, 2, k=4, n_jobs=AUTO_JOBS)
+            assert results_equal(serial, auto)
+
+    def test_auto_small_workload_counts_fallback(self, small_random):
+        """A tiny mine is far below _AUTO_TOPK_SERIAL_UNITS, so the
+        planner must pick serial and count the decision."""
+        view = MiningView.cached(small_random, 0, 2)
+        assert estimate_topk_work(view, 4) < _AUTO_TOPK_SERIAL_UNITS
+        before = pool_stats()["planner_serial_fallbacks"]
+        mine_topk(small_random, 0, 2, k=4, n_jobs=AUTO_JOBS)
+        assert pool_stats()["planner_serial_fallbacks"] == before + 1
+
+    def test_auto_forced_parallel_matches_serial(self, small_random,
+                                                 monkeypatch):
+        """Force the planner into the parallel branch (cores=2, zero
+        threshold) and check the warm-pool path still reproduces the
+        serial result exactly."""
+        monkeypatch.setattr(parallel_mod.os, "cpu_count", lambda: 2)
+        monkeypatch.setattr(parallel_mod, "_AUTO_TOPK_SERIAL_UNITS", 0)
+        serial = mine_topk(small_random, 0, 2, k=4)
+        auto = mine_topk(small_random, 0, 2, k=4, n_jobs=AUTO_JOBS)
+        assert results_equal(serial, auto)
+
+
+class TestWarmPoolMining:
+    def test_pool_reuse_across_mines(self, small_random):
+        """Two parallel mines: the second rides the warm workers."""
+        pool = get_pool()
+        serial = mine_topk(small_random, 0, 2, k=4)
+        first = mine_topk(small_random, 0, 2, k=4, n_jobs=2)
+        started_after_first = pool.started
+        reuses_after_first = pool.reuses
+        assert started_after_first >= 1
+        second = mine_topk(small_random, 0, 2, k=4, n_jobs=2)
+        assert pool.started == started_after_first  # no new executor
+        assert pool.reuses > reuses_after_first
+        assert results_equal(serial, first)
+        assert results_equal(serial, second)
+
+    def test_mine_after_shutdown_restarts(self, small_random):
+        pool = get_pool()
+        mine_topk(small_random, 0, 2, k=4, n_jobs=2)
+        pool.close()
+        started_before = pool.started
+        serial = mine_topk(small_random, 0, 2, k=4)
+        revived = mine_topk(small_random, 0, 2, k=4, n_jobs=2)
+        assert pool.started == started_before + 1
+        assert results_equal(serial, revived)
