@@ -16,6 +16,10 @@ repo rich in free oracles.  For one generated case this module:
 * on rotated cases, re-mines through the *warm* miner pool and with
   ``n_jobs="auto"`` and asserts the adaptive planner and pool reuse
   change nothing;
+* on rotated cases, re-mines with an injected worker **kill** on shard 0
+  (:class:`repro.parallel.FaultPlan`) and asserts the crash-recovery
+  supervisor returns a result bit-identical to the serial oracle, with
+  the retry visible in ``pool_stats()``;
 * round-trips the result through the service cache and its JSON
   payload, the dataset through its payload codec (fingerprints and
   re-mined results must survive), and fitted RCBT/CBA classifiers
@@ -40,7 +44,7 @@ from ..classifiers.rcbt import RCBTClassifier
 from ..core.enumeration import ENGINES
 from ..core.topk_miner import TopkResult, mine_topk
 from ..data.loaders import discretized_from_payload, discretized_to_payload
-from ..parallel import results_equal
+from ..parallel import FaultPlan, mine_topk_parallel, pool_stats, results_equal
 from ..service.cache import MiningCache, dataset_fingerprint, mining_key
 from ..service.server import topk_result_to_payload
 from .generator import AuditCase
@@ -259,6 +263,33 @@ def audit_case(
                 results_equal(serial, reused),
                 f"warm-pool reuse differs from serial ({engine} engine)",
             )
+
+    # -- crash recovery: a mine surviving an injected worker kill ----------
+    if parallel_jobs > 1 and case.index % 5 == 1:
+        # Rotated like the pool checks above (every fault costs a pool
+        # generation).  FaultPlan kills the worker mining shard 0 on its
+        # first attempt; the supervisor must heal the pool, resubmit the
+        # lost shards, and hand back a result bit-identical to the
+        # serial oracle — with the retry visible in pool_stats() and no
+        # BrokenProcessPool escaping to us.
+        def _crash_survival() -> None:
+            retries_before = pool_stats()["shard_retries"]
+            result = mine_topk_parallel(
+                case.dataset, case.consequent, case.minsup, k=case.k,
+                n_jobs=parallel_jobs, fault=FaultPlan.parse("kill@0.0"),
+            )
+            if not results_equal(reference, result):
+                raise InvariantViolation(
+                    "result after an injected shard-0 worker crash "
+                    "differs bit-for-bit from the serial oracle"
+                )
+            if pool_stats()["shard_retries"] <= retries_before:
+                raise InvariantViolation(
+                    "injected worker crash was not retried "
+                    "(shard_retries did not advance)"
+                )
+
+        auditor.run("fault-recovery", _crash_survival)
 
     # -- service cache + payload round-trips -------------------------------
     def _cache_roundtrip() -> None:

@@ -118,10 +118,29 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     else:
         minsup = relative_minsup(dataset, args.consequent,
                                  args.minsup_fraction)
-    result = mine_topk(
-        dataset, args.consequent, minsup, k=args.k, engine=args.engine,
-        n_jobs=args.jobs,
-    )
+    if args.fault:
+        # Fault-injection debug hook: exercise the crash-recovery
+        # supervisor of repro.parallel against a real dataset from the
+        # shell (e.g. --jobs 2 --fault kill@0.0).  Needs the parallel
+        # path — the serial miner has no workers to lose.
+        if args.jobs == 1:
+            print("--fault requires --jobs != 1 (serial mining has no "
+                  "workers to fault)", file=sys.stderr)
+            return 2
+        from .parallel import FaultPlan, mine_topk_parallel
+
+        result = mine_topk_parallel(
+            dataset, args.consequent, minsup, k=args.k, engine=args.engine,
+            n_jobs=args.jobs, fault=FaultPlan.parse(args.fault),
+        )
+    else:
+        result = mine_topk(
+            dataset, args.consequent, minsup, k=args.k, engine=args.engine,
+            n_jobs=args.jobs,
+        )
+    if result.stats.degraded:
+        print("note: worker loss degraded this mine to serial execution "
+              "(result is still exact)", file=sys.stderr)
     print(f"top-{args.k} covering rule groups "
           f"(consequent={dataset.class_names[args.consequent]}, "
           f"minsup={minsup}, {result.stats.nodes_visited} nodes):")
@@ -306,6 +325,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="worker processes for the mine (0 = all cores, "
                            "'auto' = let the planner decide; output is "
                            "identical to serial)")
+    mine.add_argument("--fault", metavar="PLAN", default=None,
+                      help="inject worker faults for recovery testing, "
+                           "e.g. 'kill@0.0' (mode@shard.attempt[:seconds]; "
+                           "modes kill/raise/hang/delay; requires --jobs "
+                           "!= 1)")
     mine.set_defaults(handler=_cmd_mine)
 
     classify = commands.add_parser(

@@ -114,6 +114,10 @@ class MinerStats:
     elapsed_seconds: float = 0.0
     engine: str = "bitset"
     completed: bool = True
+    # True when a parallel mine lost workers and fell back to serial
+    # in-process execution for some shards (repro.parallel); the result
+    # itself is still bit-identical to a healthy run.
+    degraded: bool = False
 
     def as_dict(self) -> dict:
         return {
@@ -125,6 +129,7 @@ class MinerStats:
             "elapsed_seconds": self.elapsed_seconds,
             "engine": self.engine,
             "completed": self.completed,
+            "degraded": self.degraded,
         }
 
 

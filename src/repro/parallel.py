@@ -49,6 +49,19 @@ shared atomic counter would serialize the workers); ``time_budget`` and
 shared flag array polled on the same
 :data:`~repro.core.enumeration.POLL_STRIDE` node stride as the serial
 budget checks.
+
+Fault tolerance (DESIGN.md §10): worker death — an OOM kill, a segfault,
+a container runtime reaping a process — is a retried, observable event,
+not a request-killing one.  :func:`_execute` supervises shard futures as
+they complete; when the process pool breaks it heals the pool through
+the generation-replacement machinery of :class:`MinerPool` and resubmits
+only the failed shards, with capped attempts and exponential backoff,
+before degrading losslessly to serial in-process execution (the merge is
+bit-identical regardless of where shards ran).  Every recovery path is
+exercised deterministically through :class:`FaultPlan`, which can kill,
+hang, delay, or raise inside a chosen shard on a chosen attempt — either
+passed explicitly or via the ``REPRO_FAULT`` environment variable for
+subprocess tests.
 """
 
 from __future__ import annotations
@@ -63,7 +76,7 @@ import threading
 import time
 import weakref
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable, Optional, Sequence
 
@@ -80,6 +93,10 @@ __all__ = [
     "AUTO_JOBS",
     "MineRequest",
     "FarmerRequest",
+    "FAULT_ANY",
+    "Fault",
+    "FaultPlan",
+    "InjectedFault",
     "MinerPool",
     "get_pool",
     "shutdown_pool",
@@ -109,6 +126,22 @@ _WATCH_INTERVAL_SECONDS = 0.02
 # for its lifetime; 64 concurrent cancellable mines per process is far
 # beyond what the service's job queue admits.
 _POOL_CANCEL_SLOTS = 64
+
+# How long a cancellable call waits for a free slot before degrading to
+# watcher-free serial in-process execution (where the caller's token is
+# polled directly, so no slot is needed).
+_SLOT_WAIT_SECONDS = 1.0
+
+# Crash recovery: total pool attempts per shard before the supervisor
+# gives up on the process pool and runs the shard serially in-process.
+_MAX_SHARD_ATTEMPTS = 2
+
+# Backoff between resubmission rounds: base * 2**(attempt - 1) seconds.
+_RETRY_BACKOFF_SECONDS = 0.05
+
+# Upper bound of a "hang" fault that has no cancel token to wake it —
+# keeps a misconfigured fault plan from deadlocking a test suite.
+_HANG_CAP_SECONDS = 10.0
 
 # Worker-side cache of decoded datasets, keyed by the parent's identity
 # token.  Small: each entry pins a full dataset (and, via the view cache,
@@ -151,6 +184,117 @@ class FarmerRequest:
     node_budget: Optional[int] = None
     max_groups: Optional[int] = None
     min_chi_square: float = 0.0
+
+
+class InjectedFault(RuntimeError):
+    """Raised by a ``raise``-mode :class:`Fault` inside a worker."""
+
+
+# Recognized fault modes: kill the worker process outright, raise an
+# ordinary exception, hang cooperatively until cancelled, or sleep for a
+# fixed delay before mining normally.
+_FAULT_MODES = ("kill", "raise", "hang", "delay")
+
+# Wildcard shard/attempt in a fault spec ("*" in the string form).
+FAULT_ANY = -1
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected fault: ``mode`` fires on ``(shard, attempt)``.
+
+    ``shard`` is the index of the shard job within one :func:`_execute`
+    call (for a single-request mine this is the :func:`plan_shards`
+    index); ``attempt`` is the supervisor's resubmission count for that
+    shard (0 = first run).  Either may be :data:`FAULT_ANY` to match
+    every shard / attempt.  ``seconds`` parameterizes ``delay`` and
+    ``hang`` (a ``hang`` with no ``seconds`` is capped at
+    :data:`_HANG_CAP_SECONDS` so a missing cancel token cannot deadlock
+    a test run).
+    """
+
+    mode: str
+    shard: int = 0
+    attempt: int = 0
+    seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in _FAULT_MODES:
+            raise ValueError(
+                f"unknown fault mode {self.mode!r}; expected one of "
+                f"{_FAULT_MODES}"
+            )
+
+    def matches(self, shard: int, attempt: int) -> bool:
+        return (self.shard in (FAULT_ANY, shard)
+                and self.attempt in (FAULT_ANY, attempt))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic set of :class:`Fault` entries for one mine.
+
+    The string form (accepted by :meth:`parse` and the ``REPRO_FAULT``
+    environment variable) is ``;``-separated entries of
+    ``mode@shard.attempt[:seconds]``, with ``*`` as a shard/attempt
+    wildcard::
+
+        kill@0.0              crash the worker mining shard 0, attempt 0
+        kill@0.0;kill@0.1     ...and again on its retry
+        hang@0.0:30           hang shard 0 for up to 30 s (or until cancel)
+        delay@*.0:0.5         delay every first-attempt shard by 0.5 s
+
+    Faults are applied only inside pool worker processes — the parent's
+    serial fallback ignores the plan, so a ``kill`` can never take down
+    the caller.  This is a testing hook: it exists so every recovery
+    path of the supervisor is exercised in CI rather than trusted.
+    """
+
+    faults: tuple[Fault, ...] = ()
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        faults = []
+        for raw in spec.split(";"):
+            raw = raw.strip()
+            if not raw:
+                continue
+            mode, sep, where = raw.partition("@")
+            if not sep:
+                raise ValueError(
+                    f"bad fault entry {raw!r}: expected "
+                    "mode@shard.attempt[:seconds]"
+                )
+            seconds: Optional[float] = None
+            if ":" in where:
+                where, _, tail = where.partition(":")
+                seconds = float(tail)
+            shard_text, _, attempt_text = where.partition(".")
+
+            def _index(text: str) -> int:
+                return FAULT_ANY if text == "*" else int(text)
+
+            faults.append(
+                Fault(
+                    mode=mode,
+                    shard=_index(shard_text),
+                    attempt=_index(attempt_text or "0"),
+                    seconds=seconds,
+                )
+            )
+        return cls(tuple(faults))
+
+    @classmethod
+    def from_env(cls) -> Optional["FaultPlan"]:
+        """The plan in ``REPRO_FAULT``, or None when unset/empty."""
+        spec = os.environ.get("REPRO_FAULT", "")
+        return cls.parse(spec) if spec else None
+
+    def find(self, shard: int, attempt: int) -> Optional[Fault]:
+        for fault in self.faults:
+            if fault.matches(shard, attempt):
+                return fault
+        return None
 
 
 def resolve_n_jobs(n_jobs: Optional[int]) -> int:
@@ -226,6 +370,7 @@ def merge_stats(shard_stats: Sequence[MinerStats], engine: str) -> MinerStats:
         total.backward_pruned += stats.backward_pruned
         total.elapsed_seconds = max(total.elapsed_seconds, stats.elapsed_seconds)
         total.completed = total.completed and stats.completed
+        total.degraded = total.degraded or stats.degraded
     return total
 
 
@@ -281,26 +426,74 @@ def _worker_dataset(token: str, blob: bytes) -> "DiscretizedDataset":
     return dataset
 
 
-def _run_shard(kind: str, request, shard_mask: int, token: str, blob: bytes,
-               slot: int):
-    """Mine one shard; returns (payload, stats) in position space.
+def _apply_fault(fault: Fault, cancel) -> None:
+    """Perform one injected fault inside a worker process."""
+    if fault.mode == "kill":
+        # os._exit skips every handler and atexit hook — the closest
+        # in-process stand-in for an OOM kill or a runtime reaping the
+        # worker.  The parent sees a BrokenProcessPool.
+        os._exit(86)
+    if fault.mode == "raise":
+        raise InjectedFault(
+            f"injected fault on shard {fault.shard} attempt {fault.attempt}"
+        )
+    if fault.mode == "delay":
+        time.sleep(fault.seconds if fault.seconds is not None else 0.05)
+        return
+    # "hang": spin like a stuck enumeration that still reaches its
+    # budget polls — wakes when the cancel slot is set, bounded so a
+    # missing token cannot deadlock the run.
+    stop_at = time.monotonic() + (
+        fault.seconds if fault.seconds is not None else _HANG_CAP_SECONDS
+    )
+    while time.monotonic() < stop_at:
+        if cancel is not None and cancel.is_set():
+            return
+        time.sleep(0.005)
 
-    ``payload`` is a list of per-position group lists for top-k requests
-    and a flat group list for FARMER requests.  Groups stay in position
-    space — the parent translates to row ids once, after merging.
+
+def _run_shard(kind: str, request, shard_mask: int, token: str, blob: bytes,
+               slot: int, shard_index: int = 0, attempt: int = 0,
+               fault: Optional[FaultPlan] = None):
+    """Worker entry point: mine one shard; returns (payload, stats).
 
     The dataset arrives as ``(token, blob)``: the blob is decoded at most
     once per worker and token, so every shard after the first reuses the
     cached dataset and — through ``MiningView.cached`` — the memoized
     view and its ``SupportIndex`` root-level results.
+
+    ``shard_index``/``attempt`` identify this execution to the fault
+    plan (the explicit ``fault`` argument, or ``REPRO_FAULT`` from the
+    environment the worker inherited) — production calls carry neither
+    and pay a single ``None`` check.
     """
     dataset = _worker_dataset(token, blob)
-    view = MiningView.cached(dataset, request.consequent, request.minsup)
     cancel = (
         _SlotCancel(_WORKER_SLOTS, slot)
         if slot >= 0 and _WORKER_SLOTS is not None
         else None
     )
+    plan = fault if fault is not None else FaultPlan.from_env()
+    if plan is not None:
+        entry = plan.find(shard_index, attempt)
+        if entry is not None:
+            _apply_fault(entry, cancel)
+    return _mine_shard(kind, request, shard_mask, dataset, cancel)
+
+
+def _mine_shard(kind: str, request, shard_mask: int, dataset, cancel,
+                time_budget: Optional[float] = None):
+    """Mine one shard of ``dataset``; returns (payload, stats).
+
+    ``payload`` is a list of per-position group lists for top-k requests
+    and a flat group list for FARMER requests.  Groups stay in position
+    space — the parent translates to row ids once, after merging.
+
+    Shared by the worker entry (:func:`_run_shard`, cancel = slot token)
+    and the parent's serial fallback (caller's token polled directly,
+    remaining global deadline passed as ``time_budget``).
+    """
+    view = MiningView.cached(dataset, request.consequent, request.minsup)
     if kind == "topk":
         policy = TopkPolicy(
             view,
@@ -322,6 +515,7 @@ def _run_shard(kind: str, request, shard_mask: int, token: str, blob: bytes,
             policy,
             engine=request.engine,
             node_budget=request.node_budget,
+            time_budget=time_budget,
             cancel=cancel,
             first_rows=shard_mask,
         )
@@ -359,13 +553,17 @@ class MinerPool:
     slot of it for its lifetime.
 
     Attributes:
-        started: executor generations created (cold starts + grows).
+        started: executor generations created (cold starts + grows +
+            post-failure heals).
         reuses: calls served by an already-running executor.
+        failure_restarts: generations retired because a worker died
+            (:meth:`heal`).
     """
 
     def __init__(self, max_workers: Optional[int] = None) -> None:
         self._ctx = _mp_context()
         self._lock = threading.Lock()
+        self._slot_freed = threading.Condition(self._lock)
         self._executor: Optional[ProcessPoolExecutor] = None
         self._size = 0
         self._max_workers = max_workers
@@ -373,6 +571,7 @@ class MinerPool:
         self._free_slots: list[int] = []
         self.started = 0
         self.reuses = 0
+        self.failure_restarts = 0
 
     @property
     def size(self) -> int:
@@ -417,15 +616,50 @@ class MinerPool:
                 current.shutdown(wait=False)
             return replacement
 
-    def acquire_slot(self) -> int:
-        """Lease a cancellation slot (cleared); pair with release_slot."""
+    def heal(self) -> bool:
+        """Retire a broken executor so the next use starts fresh.
+
+        Called by the supervisor after a worker died mid-shard.  Returns
+        True when a generation was actually retired (counted in
+        ``failure_restarts`` and the module-wide
+        ``pool_restarts_on_failure``); a healthy executor is left alone
+        and False is returned — e.g. when a concurrent call already
+        healed the pool.
+        """
         with self._lock:
+            current = self._executor
+            if current is None or not getattr(current, "_broken", False):
+                # Nothing running, or the executor is healthy (e.g. a
+                # concurrent call already healed): leave it alone.
+                return False
+            self._executor = None
+            self._size = 0
+            self.failure_restarts += 1
+        _count_recovery("pool_restarts_on_failure", 1)
+        # The executor is broken: shutdown only reaps what is left.
+        current.shutdown(wait=False)
+        return True
+
+    def acquire_slot(self, timeout: Optional[float] = _SLOT_WAIT_SECONDS) -> int:
+        """Lease a cancellation slot (cleared); pair with release_slot.
+
+        When every slot is leased, waits up to ``timeout`` seconds for a
+        release (``None`` waits indefinitely) and returns ``-1`` once the
+        wait expires — callers degrade to watcher-free serial execution
+        instead of surfacing an error to the client.
+        """
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        with self._slot_freed:
             self._ensure_slots()
-            if not self._free_slots:
-                raise RuntimeError(
-                    "all cancellation slots are leased — more than "
-                    f"{_POOL_CANCEL_SLOTS} concurrent cancellable mines"
-                )
+            while not self._free_slots:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return -1
+                self._slot_freed.wait(remaining)
             index = self._free_slots.pop()
             self._slots[index] = 0
             return index
@@ -435,9 +669,10 @@ class MinerPool:
         self._slots[index] = 1
 
     def release_slot(self, index: int) -> None:
-        with self._lock:
+        with self._slot_freed:
             self._slots[index] = 0
             self._free_slots.append(index)
+            self._slot_freed.notify()
 
     def close(self, wait: bool = True) -> None:
         """Shut the workers down.  The pool restarts on next use."""
@@ -456,6 +691,24 @@ _DEFAULT_POOL_LOCK = threading.Lock()
 # globally, not per pool: the fallback path never touches the pool.
 _PLANNER_LOCK = threading.Lock()
 _PLANNER_SERIAL_FALLBACKS = 0
+
+# Crash-recovery counters, process-wide (every pool, every _execute):
+# shard_retries            — shard jobs resubmitted after worker loss;
+# pool_restarts_on_failure — executor generations retired by heal();
+# serial_degradations      — _execute calls that ran shards serially
+#                            in-process (retries exhausted, or no
+#                            cancellation slot free within the wait).
+_RECOVERY_LOCK = threading.Lock()
+_RECOVERY = {
+    "shard_retries": 0,
+    "pool_restarts_on_failure": 0,
+    "serial_degradations": 0,
+}
+
+
+def _count_recovery(name: str, amount: int = 1) -> None:
+    with _RECOVERY_LOCK:
+        _RECOVERY[name] += amount
 
 
 def get_pool() -> MinerPool:
@@ -476,12 +729,22 @@ def shutdown_pool(wait: bool = True) -> None:
 
 
 def pool_stats() -> dict:
-    """Counters for telemetry: pool starts/reuses and planner fallbacks."""
+    """Counters for telemetry: pool lifecycle, planner and recovery.
+
+    The recovery counters (``shard_retries``,
+    ``pool_restarts_on_failure``, ``serial_degradations``) are
+    process-wide — they aggregate over every pool instance, matching the
+    service's one-process deployment; the pool counters describe the
+    default pool.
+    """
     pool = _DEFAULT_POOL
+    with _RECOVERY_LOCK:
+        recovery = dict(_RECOVERY)
     return {
         "miner_pool_started": pool.started if pool is not None else 0,
         "miner_pool_reuses": pool.reuses if pool is not None else 0,
         "planner_serial_fallbacks": _PLANNER_SERIAL_FALLBACKS,
+        **recovery,
     }
 
 
@@ -562,6 +825,90 @@ def plan_auto_workers(work_units: int, serial_threshold: int) -> int:
     return cores
 
 
+def _is_worker_loss(error: BaseException) -> bool:
+    """True for errors meaning "a worker process died", not "the shard
+    raised": those shards are retryable on a healed pool."""
+    if isinstance(error, BrokenExecutor):
+        return True
+    # Older ProcessPoolExecutor paths surface a lost worker as a bare
+    # RuntimeError carrying the BrokenProcessPool message.
+    return isinstance(error, RuntimeError) and "terminated abruptly" in str(
+        error
+    )
+
+
+def _run_shard_inline(kind: str, request, shard_mask: int, dataset, cancel,
+                      deadline: Optional[float]):
+    """Serial in-process execution of one shard (the degradation path).
+
+    The caller's cancel token is polled directly by the enumeration
+    budget checks — no slot, no watcher thread — and the remaining
+    global deadline becomes this shard's ``time_budget``.  Fault plans
+    are deliberately not consulted: an injected ``kill`` must never take
+    down the calling process.
+    """
+    time_budget = None
+    if deadline is not None:
+        time_budget = max(deadline - time.monotonic(), 1e-9)
+    return _mine_shard(kind, request, shard_mask, dataset, cancel,
+                       time_budget=time_budget)
+
+
+def _run_attempt(
+    pool: MinerPool,
+    jobs: Sequence[tuple[str, object, int]],
+    remaining: Sequence[int],
+    outputs: list,
+    n_workers: int,
+    token: str,
+    blob: bytes,
+    slot: int,
+    attempt: int,
+    fault: Optional[FaultPlan],
+) -> list[int]:
+    """Submit one pool attempt of ``remaining``; fill ``outputs``.
+
+    Outcomes are gathered as they complete, not in submission order.
+    Returns the indices lost to worker death (retryable).  A shard that
+    *raised* is a hard failure: every not-yet-started sibling future is
+    cancelled immediately (no wasted CPU, no unobserved exceptions) and
+    the smallest-index error is re-raised.
+    """
+    futures: dict = {}
+    lost: list[int] = []
+    hard: list[tuple[int, BaseException]] = []
+    try:
+        executor = pool.executor(min(n_workers, len(remaining)))
+        for index in remaining:
+            kind, request, shard_mask = jobs[index]
+            futures[
+                executor.submit(_run_shard, kind, request, shard_mask, token,
+                                blob, slot, index, attempt, fault)
+            ] = index
+    except BrokenExecutor:
+        # The pool broke while submitting; everything unsubmitted is
+        # lost, and the submitted futures fail below with the rest.
+        lost.extend(index for index in remaining if index not in
+                    set(futures.values()))
+    for future in as_completed(futures):
+        index = futures[future]
+        try:
+            outputs[index] = future.result()
+        except BaseException as error:  # noqa: BLE001 - sorted below
+            if _is_worker_loss(error):
+                lost.append(index)
+            elif future.cancelled():
+                lost.append(index)  # cancelled by a hard failure below
+            else:
+                hard.append((index, error))
+                for pending in futures:
+                    pending.cancel()
+    if hard:
+        hard.sort(key=lambda pair: pair[0])
+        raise hard[0][1]
+    return sorted(lost)
+
+
 def _execute(
     dataset: "DiscretizedDataset",
     jobs: Sequence[tuple[str, object, int]],
@@ -569,28 +916,63 @@ def _execute(
     time_budget: Optional[float] = None,
     cancel=None,
     pool: Optional[MinerPool] = None,
-) -> list[tuple[object, MinerStats]]:
+    fault: Optional[FaultPlan] = None,
+    max_attempts: int = _MAX_SHARD_ATTEMPTS,
+) -> tuple[list[tuple[object, MinerStats]], dict]:
     """Run ``(kind, request, shard_mask)`` jobs on the warm miner pool.
 
-    Results come back in submission order.  ``time_budget`` / ``cancel``
+    Returns ``(outputs, recovery)``: outputs in submission order, and a
+    recovery summary for this call (``shard_retries``, ``pool_restarts``,
+    ``serial_degradations``, ``degraded``).  ``time_budget`` / ``cancel``
     are bridged to the workers through a leased slot of the pool's shared
     flag array, set by a watcher thread in this process; workers poll it
     cooperatively and return their partial results with
     ``stats.completed`` False.
+
+    Crash recovery: shards whose worker died are resubmitted on a healed
+    pool with exponential backoff, up to ``max_attempts`` total pool
+    attempts each, then executed serially in this process — the merge
+    step downstream is agnostic to where a shard ran, so degradation is
+    lossless.  No ``BrokenProcessPool`` ever escapes to the caller.
     """
+    recovery = {
+        "shard_retries": 0,
+        "pool_restarts": 0,
+        "serial_degradations": 0,
+        "degraded": False,
+    }
     if not jobs:
-        return []
+        return [], recovery
     if pool is None:
         pool = get_pool()
     token, blob = _dataset_payload(dataset)
+    deadline = (
+        time.monotonic() + time_budget if time_budget is not None else None
+    )
+    outputs: list = [None] * len(jobs)
+
+    def _degrade_to_serial(indices: Sequence[int]) -> None:
+        _count_recovery("serial_degradations", 1)
+        recovery["serial_degradations"] += 1
+        recovery["degraded"] = True
+        for index in indices:
+            kind, request, shard_mask = jobs[index]
+            outputs[index] = _run_shard_inline(
+                kind, request, shard_mask, dataset, cancel, deadline
+            )
+
     slot = -1
     watcher: Optional[threading.Thread] = None
     stop_watching = threading.Event()
     if time_budget is not None or cancel is not None:
-        slot = pool.acquire_slot()
-        deadline = (
-            time.monotonic() + time_budget if time_budget is not None else None
-        )
+        slot = pool.acquire_slot(timeout=_SLOT_WAIT_SECONDS)
+        if slot < 0:
+            # Every cancellation slot stayed leased past the bounded
+            # wait: degrade to watcher-free serial execution instead of
+            # failing the mine (pre-fix this raised and the service
+            # returned a 500 on the 65th concurrent cancellable mine).
+            _degrade_to_serial(range(len(jobs)))
+            return outputs, recovery
         if cancel is not None and cancel.is_set():
             pool.cancel_slot(slot)
         else:
@@ -608,13 +990,24 @@ def _execute(
             )
             watcher.start()
     try:
-        executor = pool.executor(min(n_jobs, len(jobs)))
-        futures = [
-            executor.submit(_run_shard, kind, request, shard_mask, token, blob,
-                            slot)
-            for kind, request, shard_mask in jobs
-        ]
-        return [future.result() for future in futures]
+        remaining = list(range(len(jobs)))
+        attempt = 0
+        while remaining:
+            if attempt >= max_attempts:
+                # Retries exhausted: finish the surviving shards here.
+                _degrade_to_serial(remaining)
+                break
+            if attempt > 0:
+                _count_recovery("shard_retries", len(remaining))
+                recovery["shard_retries"] += len(remaining)
+                time.sleep(_RETRY_BACKOFF_SECONDS * (2 ** (attempt - 1)))
+            lost = _run_attempt(pool, jobs, remaining, outputs, n_jobs,
+                                token, blob, slot, attempt, fault)
+            if lost and pool.heal():
+                recovery["pool_restarts"] += 1
+            remaining = lost
+            attempt += 1
+        return outputs, recovery
     finally:
         stop_watching.set()
         if watcher is not None:
@@ -627,6 +1020,7 @@ def _merge_topk(
     dataset: "DiscretizedDataset",
     request: MineRequest,
     shard_outputs: Sequence[tuple[list, MinerStats]],
+    degraded: bool = False,
 ) -> TopkResult:
     """Fold per-shard top-k lists into the exact serial result.
 
@@ -649,6 +1043,7 @@ def _merge_topk(
             for group in groups:
                 target.offer(group)
     stats = merge_stats([stats for _lists, stats in shard_outputs], request.engine)
+    stats.degraded = stats.degraded or degraded
     return TopkResult(
         per_row=policy.finalize(),
         consequent=request.consequent,
@@ -664,6 +1059,7 @@ def mine_topk_sharded(
     n_jobs: Optional[int] = None,
     time_budget: Optional[float] = None,
     cancel=None,
+    fault: Optional[FaultPlan] = None,
 ) -> list[TopkResult]:
     """Mine several top-k requests at once, pooling their shards.
 
@@ -677,6 +1073,11 @@ def mine_topk_sharded(
 
     Returns one :class:`TopkResult` per request, in request order; each
     is bit-identical to the corresponding serial :func:`mine_topk` call.
+    That equality holds even across worker crashes: lost shards are
+    retried on a healed pool and, past the retry cap, mined serially in
+    this process (``stats.degraded`` marks such runs).  ``fault`` is the
+    deterministic fault-injection hook used by the tests and the audit
+    oracle; it never applies to the serial paths.
     """
     if n_jobs == AUTO_JOBS:
         total_units = sum(
@@ -715,9 +1116,12 @@ def mine_topk_sharded(
         shards = plan_shards(view.n_rows, n_workers)
         spans.append((len(jobs), len(jobs) + len(shards)))
         jobs.extend(("topk", request, mask) for mask in shards)
-    outputs = _execute(dataset, jobs, n_workers, time_budget, cancel)
+    outputs, recovery = _execute(
+        dataset, jobs, n_workers, time_budget, cancel, fault=fault
+    )
     results = [
-        _merge_topk(dataset, request, outputs[start:stop])
+        _merge_topk(dataset, request, outputs[start:stop],
+                    degraded=recovery["degraded"])
         for request, (start, stop) in zip(requests, spans)
     ]
     # Under REPRO_CHECK=1 the merged results are audited exactly like
@@ -741,9 +1145,11 @@ def mine_topk_parallel(
     time_budget: Optional[float] = None,
     cancel=None,
     n_jobs: Optional[int] = None,
+    fault: Optional[FaultPlan] = None,
 ) -> TopkResult:
     """Parallel :func:`~repro.core.topk_miner.mine_topk` — same signature
-    plus ``n_jobs`` (``"auto"`` allowed), bit-identical output."""
+    plus ``n_jobs`` (``"auto"`` allowed) and the ``fault`` injection
+    hook, bit-identical output."""
     request = MineRequest(
         consequent=consequent,
         minsup=minsup,
@@ -755,7 +1161,8 @@ def mine_topk_parallel(
         node_budget=node_budget,
     )
     return mine_topk_sharded(
-        dataset, [request], n_jobs=n_jobs, time_budget=time_budget, cancel=cancel
+        dataset, [request], n_jobs=n_jobs, time_budget=time_budget,
+        cancel=cancel, fault=fault,
     )[0]
 
 
@@ -771,6 +1178,7 @@ def mine_farmer_parallel(
     min_chi_square: float = 0.0,
     n_jobs: Optional[int] = None,
     cancel=None,
+    fault: Optional[FaultPlan] = None,
 ) -> FarmerResult:
     """Parallel :func:`~repro.baselines.farmer.mine_farmer`.
 
@@ -813,11 +1221,14 @@ def mine_farmer_parallel(
     view = MiningView.cached(dataset, consequent, minsup)
     shards = plan_shards(view.n_rows, n_workers)
     jobs = [("farmer", request, mask) for mask in shards]
-    outputs = _execute(dataset, jobs, n_workers, time_budget, cancel)
+    outputs, recovery = _execute(
+        dataset, jobs, n_workers, time_budget, cancel, fault=fault
+    )
     merged: list = []
     for groups, _stats in outputs:
         merged.extend(groups)
     stats = merge_stats([stats for _groups, stats in outputs], engine)
+    stats.degraded = stats.degraded or recovery["degraded"]
     if max_groups is not None and len(merged) > max_groups:
         # Serial FARMER raises after emitting one group past the cap; keep
         # the identical prefix of the DFS emission order.

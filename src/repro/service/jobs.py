@@ -228,23 +228,47 @@ class JobQueue:
                 job.started_at = time.time()
                 fn = self._job_fns.pop(job.job_id)
             try:
-                result = fn(job)
-            except JobCancelled as stop:
+                try:
+                    result = fn(job)
+                except JobCancelled as stop:
+                    with self._lock:
+                        self._finish(job, CANCELLED,
+                                     error=str(stop) or "cancelled")
+                except Exception:
+                    with self._lock:
+                        self._finish(job, FAILED, error=traceback.format_exc())
+                except BaseException:
+                    # A job fn raising SystemExit (or any other bare
+                    # BaseException) must not kill the worker thread:
+                    # pre-fix it propagated, the thread died, the job
+                    # stayed RUNNING forever (wait() hung) and the queue
+                    # silently lost a worker.  Fail the job and keep
+                    # serving.  (threading would swallow SystemExit from
+                    # a non-main thread anyway — exiting is not an option
+                    # here, only dying uselessly was.)
+                    with self._lock:
+                        self._finish(job, FAILED, error=traceback.format_exc())
+                else:
+                    with self._lock:
+                        if job.cancel_event.is_set():
+                            # The function returned a partial result after
+                            # a cooperative stop; keep it but mark the
+                            # outcome.
+                            job.result = result
+                            self._finish(job, CANCELLED, error="cancelled")
+                        else:
+                            job.result = result
+                            self._finish(job, DONE)
+            finally:
+                # Backstop: no code path may leave the job non-terminal —
+                # wait() blocks on _done, and a stuck RUNNING job would
+                # pin its cache/inflight bookkeeping forever.
                 with self._lock:
-                    self._finish(job, CANCELLED, error=str(stop) or "cancelled")
-            except Exception:
-                with self._lock:
-                    self._finish(job, FAILED, error=traceback.format_exc())
-            else:
-                with self._lock:
-                    if job.cancel_event.is_set():
-                        # The function returned a partial result after a
-                        # cooperative stop; keep it but mark the outcome.
-                        job.result = result
-                        self._finish(job, CANCELLED, error="cancelled")
-                    else:
-                        job.result = result
-                        self._finish(job, DONE)
+                    if not job._done.is_set():
+                        self._finish(
+                            job, FAILED,
+                            error="job ended without a terminal transition",
+                        )
 
     def _finish(
         self, job: Job, status: str, error: Optional[str] = None

@@ -70,6 +70,7 @@ def topk_result_to_payload(result: TopkResult) -> dict:
         "minsup": result.minsup,
         "k": result.k,
         "completed": result.stats.completed,
+        "degraded": result.stats.degraded,
         "stats": result.stats.as_dict(),
         "n_unique_groups": len(result.unique_groups()),
         "per_row": {
@@ -173,11 +174,13 @@ class RuleService:
                 f"{name}@v{version}": batcher.stats()
                 for (name, version), batcher in sorted(self._batchers.items())
             }
-        # The warm miner pool and the execution planner live in
-        # repro.parallel, shared by every embedder of this service;
-        # sample their counters into gauges at scrape time.
-        for name, value in pool_stats().items():
-            self.telemetry.set_gauge(name, value)
+        # The warm miner pool, the execution planner and the crash-
+        # recovery supervisor live in repro.parallel, shared by every
+        # embedder of this service; sample their counters into gauges
+        # atomically at scrape time (shard_retries,
+        # pool_restarts_on_failure and serial_degradations ride along —
+        # the operator's first sign that workers are being killed).
+        self.telemetry.set_gauges(pool_stats())
         return self.telemetry.snapshot(
             extra={
                 "cache": self.cache.stats(),
@@ -392,6 +395,10 @@ class RuleService:
                 self.telemetry.observe(
                     "kernel_seconds", result.stats.elapsed_seconds
                 )
+                if result.stats.degraded:
+                    # The mine survived worker loss by degrading to
+                    # serial execution; the result is still exact.
+                    self.telemetry.increment("mine_degraded")
                 if result.stats.completed:
                     self.cache.put(key, result)
                 return topk_result_to_payload(result)

@@ -100,6 +100,19 @@ class Telemetry:
         with self._lock:
             self._gauges[name] = value
 
+    def set_gauges(self, values: dict) -> None:
+        """Set several gauges atomically (one lock round-trip).
+
+        Used at ``/metrics`` scrape time to import externally sampled
+        counter families wholesale — e.g. the miner-pool, planner and
+        crash-recovery statistics of :func:`repro.parallel.pool_stats`
+        (``shard_retries``, ``pool_restarts_on_failure``,
+        ``serial_degradations``...), so a scrape never sees half of one
+        sampling.
+        """
+        with self._lock:
+            self._gauges.update(values)
+
     def gauge(self, name: str) -> float:
         """Current value of a gauge (0 if never set)."""
         with self._lock:

@@ -1,0 +1,317 @@
+"""Fault injection for the parallel backend's crash-recovery supervisor.
+
+Every recovery path of ``repro.parallel._execute`` is exercised here
+deterministically through :class:`~repro.parallel.FaultPlan` instead of
+being trusted:
+
+* a worker killed mid-shard (``kill`` — the in-process stand-in for an
+  OOM kill or a container runtime reaping the process) is retried on a
+  healed pool and the merged result stays bit-identical to serial;
+* a worker killed on *every* pool attempt exhausts the retry cap and the
+  surviving shards degrade losslessly to serial in-process execution;
+* a hung shard (``hang``) is bounded by the global time budget through
+  the cancellation slot, not by luck;
+* an ordinary exception in a shard (``raise``) is a hard failure: it
+  propagates, and the not-yet-started sibling shards are cancelled
+  instead of burning CPU unobserved (the pre-fix in-order ``.result()``
+  loop left them running);
+* the cancellation-slot lease degrades to watcher-free serial execution
+  when every slot is taken, instead of raising (pre-fix the service
+  turned that into a client-visible 500).
+
+No test here may ever see a ``BrokenProcessPool``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+import repro.parallel as parallel_mod
+from repro.core.topk_miner import mine_topk
+from repro.parallel import (
+    AUTO_JOBS,
+    FAULT_ANY,
+    Fault,
+    FaultPlan,
+    InjectedFault,
+    MineRequest,
+    MinerPool,
+    _execute,
+    _merge_topk,
+    mine_farmer_parallel,
+    mine_topk_parallel,
+    mine_topk_sharded,
+    plan_shards,
+    pool_stats,
+    results_equal,
+    shutdown_pool,
+)
+from repro.baselines.farmer import mine_farmer
+
+
+@pytest.fixture
+def serial_result(small_random):
+    return mine_topk(small_random, 1, 2, k=4)
+
+
+def _topk_request(**overrides):
+    defaults = dict(consequent=1, minsup=2, k=4)
+    defaults.update(overrides)
+    return MineRequest(**defaults)
+
+
+class TestFaultPlan:
+    def test_parse_single_entry(self):
+        plan = FaultPlan.parse("kill@0.0")
+        assert plan.faults == (Fault(mode="kill", shard=0, attempt=0),)
+        assert plan.find(0, 0).mode == "kill"
+        assert plan.find(0, 1) is None
+        assert plan.find(1, 0) is None
+
+    def test_parse_multiple_entries_and_seconds(self):
+        plan = FaultPlan.parse("kill@0.0;hang@1.0:30;delay@2.1:0.25")
+        assert len(plan.faults) == 3
+        assert plan.find(1, 0) == Fault(mode="hang", shard=1, attempt=0,
+                                        seconds=30.0)
+        assert plan.find(2, 1).seconds == 0.25
+
+    def test_parse_wildcards(self):
+        plan = FaultPlan.parse("kill@*.*")
+        assert plan.faults[0].shard == FAULT_ANY
+        assert plan.faults[0].attempt == FAULT_ANY
+        for shard, attempt in ((0, 0), (7, 3)):
+            assert plan.find(shard, attempt) is not None
+
+    def test_parse_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="unknown fault mode"):
+            FaultPlan.parse("explode@0.0")
+
+    def test_parse_rejects_missing_target(self):
+        with pytest.raises(ValueError, match="bad fault entry"):
+            FaultPlan.parse("kill")
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULT", raising=False)
+        assert FaultPlan.from_env() is None
+        monkeypatch.setenv("REPRO_FAULT", "kill@0.1")
+        plan = FaultPlan.from_env()
+        assert plan.find(0, 1).mode == "kill"
+
+
+class TestCrashRecovery:
+    def test_crash_on_first_attempt_recovers(self, small_random,
+                                             serial_result):
+        """Shard 0's worker dies on attempt 0: the supervisor heals the
+        pool, resubmits the lost shards, and the merged result is
+        bit-identical to serial — no BrokenProcessPool escapes."""
+        before = pool_stats()
+        result = mine_topk_parallel(
+            small_random, 1, 2, k=4, n_jobs=2,
+            fault=FaultPlan.parse("kill@0.0"),
+        )
+        after = pool_stats()
+        assert results_equal(serial_result, result)
+        assert result.stats.degraded is False  # recovered, not degraded
+        assert after["shard_retries"] - before["shard_retries"] >= 1
+        assert (after["pool_restarts_on_failure"]
+                - before["pool_restarts_on_failure"]) >= 1
+        assert (after["serial_degradations"]
+                == before["serial_degradations"])
+
+    def test_crash_on_retry_degrades_serially(self, small_random,
+                                              serial_result):
+        """Workers die on the first attempt *and* the retry: the retry
+        cap trips and the remaining shards run serially in-process —
+        still bit-identical, flagged degraded, counted exactly once."""
+        before = pool_stats()
+        result = mine_topk_parallel(
+            small_random, 1, 2, k=4, n_jobs=2,
+            fault=FaultPlan.parse("kill@*.*"),
+        )
+        after = pool_stats()
+        assert results_equal(serial_result, result)
+        assert result.stats.degraded is True
+        assert after["serial_degradations"] - before["serial_degradations"] == 1
+        assert after["shard_retries"] - before["shard_retries"] >= 1
+
+    def test_crash_on_single_shard_retry_only(self, small_random,
+                                              serial_result):
+        """Kill only shard 0 on both pool attempts: every other shard
+        completes on the pool and only the stubborn one degrades."""
+        result = mine_topk_parallel(
+            small_random, 1, 2, k=4, n_jobs=2,
+            fault=FaultPlan.parse("kill@0.0;kill@0.1"),
+        )
+        assert results_equal(serial_result, result)
+        assert result.stats.degraded is True
+
+    def test_hang_until_timeout_is_bounded(self, small_random):
+        """A shard hung for up to 30 s is released by the global time
+        budget through the cancellation slot: the mine returns within
+        the budget (plus watcher latency), never hanging the caller."""
+        start = time.monotonic()
+        result = mine_topk_parallel(
+            small_random, 1, 2, k=4, n_jobs=2, time_budget=0.4,
+            fault=FaultPlan.parse("hang@0.0:30"),
+        )
+        elapsed = time.monotonic() - start
+        assert elapsed < 5.0
+        # Cooperative cancellation: a shard small enough to finish under
+        # the poll stride may still complete fully — in that case the
+        # result must be the exact serial result.
+        if result.stats.completed:
+            assert results_equal(mine_topk(small_random, 1, 2, k=4), result)
+
+    def test_crash_during_sharded_auto_jobs(self, small_random,
+                                            serial_result, monkeypatch):
+        """n_jobs="auto" forced into the parallel branch + a worker kill:
+        the planner path recovers exactly like the explicit path."""
+        monkeypatch.setattr(parallel_mod.os, "cpu_count", lambda: 2)
+        monkeypatch.setattr(parallel_mod, "_AUTO_TOPK_SERIAL_UNITS", 0)
+        results = mine_topk_sharded(
+            small_random, [_topk_request()], n_jobs=AUTO_JOBS,
+            fault=FaultPlan.parse("kill@0.0"),
+        )
+        assert len(results) == 1
+        assert results_equal(serial_result, results[0])
+
+    def test_farmer_crash_recovers(self, small_random):
+        serial = mine_farmer(small_random, 1, 2)
+        recovered = mine_farmer_parallel(
+            small_random, 1, 2, n_jobs=2, fault=FaultPlan.parse("kill@0.0")
+        )
+        assert [g.row_set for g in recovered.groups] == [
+            g.row_set for g in serial.groups
+        ]
+        assert recovered.stats.degraded is False
+
+    def test_env_fault_plan_reaches_forked_workers(self, small_random,
+                                                   serial_result,
+                                                   monkeypatch):
+        """REPRO_FAULT set before the pool starts is inherited by the
+        workers (the subprocess-test hook): shard 0 crashes on its first
+        attempt and recovery still reproduces the serial result."""
+        shutdown_pool()  # force a fresh generation that inherits the env
+        monkeypatch.setenv("REPRO_FAULT", "kill@0.0")
+        try:
+            result = mine_topk_parallel(small_random, 1, 2, k=4, n_jobs=2)
+            assert results_equal(serial_result, result)
+        finally:
+            monkeypatch.delenv("REPRO_FAULT")
+            shutdown_pool()  # do not leak fault-laden workers to others
+
+    def test_delay_fault_changes_nothing(self, small_random, serial_result):
+        result = mine_topk_parallel(
+            small_random, 1, 2, k=4, n_jobs=2,
+            fault=FaultPlan.parse("delay@*.0:0.05"),
+        )
+        assert results_equal(serial_result, result)
+        assert result.stats.degraded is False
+
+
+class TestHardFailures:
+    """An ordinary shard exception is a bug, not a crash: it must
+    propagate — but without leaving sibling shards running unobserved."""
+
+    def test_injected_raise_propagates(self, small_random):
+        with pytest.raises(InjectedFault, match="injected fault"):
+            mine_topk_parallel(
+                small_random, 1, 2, k=4, n_jobs=2,
+                fault=FaultPlan.parse("raise@0.0"),
+            )
+
+    def test_raise_cancels_pending_shards(self, small_random):
+        """Regression for the in-order ``.result()`` loop: pre-fix, an
+        early shard's exception left every later shard queued/running on
+        the pool (wasted CPU, lost exceptions).  Eight slow sibling
+        shards behind one worker take 4 s if they all run; cancellation
+        can only spare the truly pending ones (the executor prefetches
+        ~2 into its call queue, where futures are already RUNNING), so
+        a healthy fix finishes in well under the all-run time."""
+        pool = MinerPool(max_workers=1)
+        request = _topk_request()
+        jobs = [("topk", request, 1 << position) for position in range(9)]
+        fault = FaultPlan.parse(
+            "raise@0.0;" + ";".join(
+                f"delay@{shard}.0:0.5" for shard in range(1, 9)
+            )
+        )
+        try:
+            start = time.monotonic()
+            with pytest.raises(InjectedFault):
+                _execute(small_random, jobs, 1, pool=pool, fault=fault)
+            elapsed = time.monotonic() - start
+            # All-run (pre-fix) is 8 * 0.5 = 4 s on the lone worker;
+            # post-fix at most the prefetched couple of delays run.
+            assert elapsed < 3.0
+        finally:
+            pool.close()
+
+    def test_smallest_index_error_wins(self, small_random):
+        """Two raising shards: the reported failure is deterministic
+        (the smallest shard index), not submission-race-dependent."""
+        with pytest.raises(InjectedFault, match="shard 0"):
+            mine_topk_parallel(
+                small_random, 1, 2, k=4, n_jobs=2,
+                fault=FaultPlan.parse("raise@0.0;raise@1.0"),
+            )
+
+
+class TestSlotExhaustionFallback:
+    def test_execute_degrades_when_no_slot_free(self, small_random,
+                                                monkeypatch,
+                                                serial_result):
+        """All cancellation slots leased + a cancellable mine: instead
+        of raising (pre-fix: a 500 through the service), the call runs
+        watcher-free and serial in this process, exact as ever."""
+        monkeypatch.setattr(parallel_mod, "_SLOT_WAIT_SECONDS", 0.05)
+        pool = MinerPool()
+        leased = [pool.acquire_slot()
+                  for _ in range(parallel_mod._POOL_CANCEL_SLOTS)]
+        request = _topk_request()
+        jobs = [("topk", request, mask)
+                for mask in plan_shards(small_random.n_rows, 2)]
+        before = pool_stats()
+        try:
+            outputs, recovery = _execute(
+                small_random, jobs, 2, cancel=threading.Event(), pool=pool
+            )
+        finally:
+            for index in leased:
+                pool.release_slot(index)
+            pool.close()
+        after = pool_stats()
+        assert recovery["degraded"] is True
+        assert recovery["serial_degradations"] == 1
+        assert after["serial_degradations"] - before["serial_degradations"] == 1
+        merged = _merge_topk(small_random, request, outputs,
+                             degraded=recovery["degraded"])
+        assert results_equal(serial_result, merged)
+        assert merged.stats.degraded is True
+
+    def test_cancel_still_honored_in_degraded_mode(self, small_random,
+                                                   monkeypatch):
+        """The watcher-free fallback polls the caller's token directly:
+        a pre-set cancel yields a partial (completed=False) result."""
+        monkeypatch.setattr(parallel_mod, "_SLOT_WAIT_SECONDS", 0.05)
+        pool = MinerPool()
+        leased = [pool.acquire_slot()
+                  for _ in range(parallel_mod._POOL_CANCEL_SLOTS)]
+        cancel = threading.Event()
+        cancel.set()
+        request = _topk_request(minsup=1, k=8)
+        jobs = [("topk", request, mask)
+                for mask in plan_shards(small_random.n_rows, 2)]
+        try:
+            outputs, recovery = _execute(
+                small_random, jobs, 2, cancel=cancel, pool=pool
+            )
+        finally:
+            for index in leased:
+                pool.release_slot(index)
+            pool.close()
+        assert recovery["degraded"] is True
+        assert all(payload is not None for payload, _stats in outputs)

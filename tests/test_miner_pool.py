@@ -16,6 +16,10 @@ any host.
 
 from __future__ import annotations
 
+import os
+import threading
+import time
+
 import pytest
 
 import repro.parallel as parallel_mod
@@ -101,13 +105,53 @@ class TestMinerPoolLifecycle:
         assert first in leased
         pool.release_slot(second)
 
-    def test_slot_exhaustion_raises(self):
+    def test_slot_exhaustion_times_out_with_minus_one(self):
+        """Leasing past the slot count no longer raises (pre-fix the 65th
+        concurrent cancellable mine got a RuntimeError, which the service
+        surfaced as a client-visible 500): the bounded wait expires and
+        the caller receives -1, the serial-fallback sentinel."""
         pool = MinerPool()
         leased = [pool.acquire_slot() for _ in range(_POOL_CANCEL_SLOTS)]
-        with pytest.raises(RuntimeError):
-            pool.acquire_slot()
+        assert pool.acquire_slot(timeout=0.05) == -1
         for index in leased:
             pool.release_slot(index)
+
+    def test_slot_release_unblocks_waiter(self):
+        pool = MinerPool()
+        leased = [pool.acquire_slot() for _ in range(_POOL_CANCEL_SLOTS)]
+        got = []
+
+        def waiter():
+            got.append(pool.acquire_slot(timeout=5.0))
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        time.sleep(0.05)
+        pool.release_slot(leased.pop())
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert len(got) == 1 and got[0] >= 0
+        pool.release_slot(got[0])
+        for index in leased:
+            pool.release_slot(index)
+
+    def test_heal_replaces_broken_executor(self):
+        """A worker death breaks the executor; heal() retires the broken
+        generation and the next use starts a fresh, working one."""
+        pool = MinerPool(max_workers=1)
+        try:
+            executor = pool.executor(1)
+            with pytest.raises(Exception):
+                executor.submit(os._exit, 1).result(timeout=30)
+            assert pool.heal() is True
+            assert pool.failure_restarts == 1
+            # A healthy pool is left alone.
+            assert pool.heal() is False
+            assert pool.failure_restarts == 1
+            revived = pool.executor(1)
+            assert revived.submit(int, "5").result(timeout=30) == 5
+        finally:
+            pool.close()
 
     def test_default_pool_is_singleton(self):
         assert get_pool() is get_pool()
@@ -118,6 +162,9 @@ class TestMinerPoolLifecycle:
             "miner_pool_started",
             "miner_pool_reuses",
             "planner_serial_fallbacks",
+            "shard_retries",
+            "pool_restarts_on_failure",
+            "serial_degradations",
         }
         assert all(isinstance(v, int) and v >= 0 for v in stats.values())
 

@@ -15,7 +15,11 @@ Each test here fails on the pre-fix code:
   entry for that key before bailing;
 * ``job_status`` read ``status`` and ``result`` without the queue lock,
   so a poller could observe a torn pair (status "running" with a result
-  attached).
+  attached);
+* a job function raising a ``BaseException`` such as ``SystemExit``
+  slipped past the ``except Exception`` guard in ``JobQueue._worker``,
+  killing the worker thread: the job stayed RUNNING forever (its
+  ``wait()`` hung) and every queued job behind it was orphaned.
 """
 
 import http.client
@@ -226,6 +230,49 @@ class TestOversizePutRetention:
         stats = cache.stats()
         assert stats["entries"] == 1
         assert stats["bytes"] == small_size
+
+
+class TestWorkerSurvivesBaseException:
+    def test_system_exit_fails_job_and_keeps_worker_alive(self):
+        """A job raising SystemExit must fail cleanly, not kill the
+        worker thread.  Pre-fix, ``except Exception`` missed it: the
+        worker died, the job stayed RUNNING with ``wait()`` hanging, and
+        the follow-up job below was never picked up."""
+        queue = JobQueue(workers=1)
+
+        def exiting_job(job):
+            raise SystemExit(3)
+
+        try:
+            doomed = queue.submit(exiting_job)
+            assert doomed.wait(timeout=30), (
+                "job never reached a terminal state (worker thread died)"
+            )
+            assert doomed.status == "failed"
+            assert "SystemExit" in doomed.error
+            # The same worker must still be alive to run the next job.
+            follow_up = queue.submit(lambda job: "still here")
+            assert follow_up.wait(timeout=30)
+            assert follow_up.status == "done"
+            assert follow_up.result == "still here"
+        finally:
+            queue.shutdown()
+
+    def test_keyboard_interrupt_in_job_does_not_orphan_queue(self):
+        queue = JobQueue(workers=1)
+
+        def interrupted_job(job):
+            raise KeyboardInterrupt
+
+        try:
+            doomed = queue.submit(interrupted_job)
+            assert doomed.wait(timeout=30)
+            assert doomed.status == "failed"
+            follow_up = queue.submit(lambda job: 7)
+            assert follow_up.wait(timeout=30)
+            assert follow_up.result == 7
+        finally:
+            queue.shutdown()
 
 
 class TestJobStatusSnapshot:
