@@ -9,7 +9,11 @@ Commands:
   (``--save`` persists a trained rule classifier and its pipeline);
 * ``predict``    — apply a saved rule classifier to new samples;
 * ``serve``      — run the JSON-over-HTTP serving layer of
-  :mod:`repro.service` (model registry, mining cache, async jobs);
+  :mod:`repro.service` (model registry, mining cache, async jobs;
+  batch-coalescing asyncio front end by default, ``--legacy`` for the
+  threaded server, ``--store`` for restart-durable jobs);
+* ``loadtest``   — benchmark both HTTP front ends and write
+  ``BENCH_service.json`` (see :mod:`repro.service.loadtest`);
 * ``bench``      — time serial vs. parallel mining on the synthetic
   generators and write ``BENCH_core.json`` (see :mod:`repro.bench`);
 * ``audit``      — differential fuzz & invariant audit: seeded random
@@ -214,22 +218,58 @@ def _cmd_predict(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from .service import ReproServer
+    import signal
 
-    server = ReproServer(
-        host=args.host,
-        port=args.port,
-        verbose=args.verbose,
+    from .service import AsyncReproServer, ReproServer
+
+    service_kwargs = dict(
         models_dir=args.models_dir,
         cache_bytes=args.cache_bytes,
         mining_workers=args.workers,
         mine_jobs=args.mine_jobs,
+        store_path=args.store,
     )
+    if args.legacy:
+        server = ReproServer(host=args.host, port=args.port,
+                             verbose=args.verbose, **service_kwargs)
+    else:
+        server = AsyncReproServer(host=args.host, port=args.port,
+                                  verbose=args.verbose,
+                                  grace_seconds=args.grace_seconds,
+                                  **service_kwargs)
+    server.start()
     registered = server.service.registry.names()
     if registered:
         print(f"warm started models: {', '.join(registered)}")
-    print(f"serving on {server.url} (Ctrl-C to stop)")
-    server.serve_forever()
+    recovered = server.service.telemetry.counter("mine_jobs_recovered")
+    if recovered:
+        print(f"recovered {recovered} durable mining job(s) from "
+              f"{args.store}")
+    kind = "legacy threaded" if args.legacy else "async"
+    print(f"serving on {server.url} ({kind}; Ctrl-C or SIGTERM to stop)",
+          flush=True)
+
+    # SIGTERM (systemd/k8s stop) drains like Ctrl-C does: interrupt the
+    # foreground wait, then stop() below gives in-flight requests
+    # --grace-seconds and checkpoints the durable job store.
+    def _terminate(signum, frame):
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _terminate)
+    try:
+        try:
+            while True:
+                signal.pause()
+        except KeyboardInterrupt:
+            pass
+        print("draining...", flush=True)
+        if args.legacy:
+            server.stop(grace_seconds=args.grace_seconds)
+        else:
+            server.stop()
+        print("stopped cleanly", flush=True)
+    finally:
+        signal.signal(signal.SIGTERM, previous)
     return 0
 
 
@@ -248,6 +288,33 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         repeats=args.repeats,
         quick=args.quick,
         include_quick=args.include_quick,
+    )
+    write_report(report, args.output)
+    for line in report.summary_lines():
+        print(line)
+    print(f"wrote {args.output}")
+    if baseline is not None:
+        lines, ok = compare_reports(report.as_dict(), baseline)
+        for line in lines:
+            print(line)
+        if not ok:
+            return 1
+    return 0
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    import json
+
+    from .service.loadtest import compare_reports, run_loadtest, write_report
+
+    # Read the baseline before writing, in case --output points at it.
+    baseline = None
+    if args.compare:
+        baseline = json.loads(Path(args.compare).read_text(encoding="utf-8"))
+    report = run_loadtest(
+        quick=args.quick,
+        servers=tuple(args.servers),
+        progress=print if args.verbose else None,
     )
     write_report(report, args.output)
     for line in report.summary_lines():
@@ -377,6 +444,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes each mining job may use "
                             "(cap for per-request n_jobs; 'auto' = "
                             "planner decides per workload)")
+    serve.add_argument("--store", default=None, metavar="DB",
+                       help="durable SQLite job store: queued/running "
+                            "mines survive restarts and identical "
+                            "re-mines are answered from disk")
+    serve.add_argument("--grace-seconds", type=float, default=5.0,
+                       help="drain window for in-flight requests on "
+                            "Ctrl-C/SIGTERM")
+    serve.add_argument("--legacy", action="store_true",
+                       help="run the PR 1 threaded server instead of the "
+                            "batch-coalescing asyncio front end")
     serve.add_argument("--verbose", action="store_true",
                        help="log one line per request")
     serve.set_defaults(handler=_cmd_serve)
@@ -404,6 +481,27 @@ def build_parser() -> argparse.ArgumentParser:
                             "exit non-zero if any serial time regressed "
                             "more than 2x")
     bench.set_defaults(handler=_cmd_bench)
+
+    loadtest = commands.add_parser(
+        "loadtest", help="benchmark the HTTP front ends; write "
+                         "BENCH_service.json"
+    )
+    loadtest.add_argument("--output", default="BENCH_service.json",
+                          help="where to write the JSON report")
+    loadtest.add_argument("--servers", nargs="+", default=["legacy", "async"],
+                          choices=("legacy", "async"),
+                          help="front ends to drive")
+    loadtest.add_argument("--quick", action="store_true",
+                          help="smaller request counts — the CI smoke "
+                               "profile")
+    loadtest.add_argument("--compare", metavar="BASELINE",
+                          help="diff this run against a committed report; "
+                               "exit non-zero if any RPS regressed more "
+                               "than 2x (plus an absolute floor) or any "
+                               "requests errored")
+    loadtest.add_argument("--verbose", action="store_true",
+                          help="print one line per scenario/server run")
+    loadtest.set_defaults(handler=_cmd_loadtest)
 
     audit = commands.add_parser(
         "audit", help="differential fuzz & invariant audit of the miners "

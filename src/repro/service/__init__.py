@@ -4,10 +4,13 @@ Turns the one-shot library into a long-running server: a named model
 registry (:mod:`.registry`), a content-addressed mining cache
 (:mod:`.cache`), a cancellable mining job queue (:mod:`.jobs`),
 micro-batched classification (:mod:`.batching`), request telemetry
-(:mod:`.telemetry`) and a stdlib JSON-over-HTTP front end
-(:mod:`.server`, started by ``repro serve``).
+(:mod:`.telemetry`), a durable SQLite-WAL job + result store
+(:mod:`.store`) and two JSON-over-HTTP front ends — the threaded
+:mod:`.server` and the batch-coalescing asyncio :mod:`.aio` server that
+``repro serve`` runs by default.
 """
 
+from .aio import AsyncReproServer
 from .batching import MicroBatcher
 from .cache import MiningCache, dataset_fingerprint, mining_key
 from .jobs import Job, JobCancelled, JobQueue
@@ -18,10 +21,13 @@ from .server import (
     ServiceError,
     topk_result_to_payload,
 )
+from .store import JobStore
 from .telemetry import LatencyHistogram, Telemetry
 
 __all__ = [
+    "AsyncReproServer",
     "Job",
+    "JobStore",
     "JobCancelled",
     "JobQueue",
     "LatencyHistogram",

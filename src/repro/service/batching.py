@@ -45,6 +45,9 @@ class MicroBatcher:
         max_batch_rows: flush once this many rows are pending.
         max_delay: seconds the collector waits for more requests after
             the first one arrives before flushing what it has.
+        on_batch: called with each flushed batch's row count — the
+            service wires this to the ``classify_batch_size`` telemetry
+            histogram so coalescing is observable on ``/metrics``.
     """
 
     def __init__(
@@ -53,6 +56,7 @@ class MicroBatcher:
         max_batch_rows: int = 256,
         max_delay: float = 0.002,
         name: str = "repro-batcher",
+        on_batch: Optional[Callable[[int], None]] = None,
     ) -> None:
         if max_batch_rows < 1:
             raise ValueError(
@@ -61,6 +65,7 @@ class MicroBatcher:
         if max_delay < 0:
             raise ValueError(f"max_delay must be >= 0, got {max_delay}")
         self._predict_batch = predict_batch
+        self._on_batch = on_batch
         self.max_batch_rows = max_batch_rows
         self.max_delay = max_delay
         self._queue: "queue.Queue[Optional[_Pending]]" = queue.Queue()
@@ -167,6 +172,8 @@ class MicroBatcher:
             self.batches += 1
             self.batched_rows += total_rows
             self.largest_batch = max(self.largest_batch, total_rows)
+        if self._on_batch is not None:
+            self._on_batch(total_rows)
         offset = 0
         for pending in batch:
             pending.results = results[offset:offset + len(pending.rows)]

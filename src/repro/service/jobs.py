@@ -86,6 +86,7 @@ class Job:
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
+            "cancel_requested": self.cancel_event.is_set(),
         }
 
     def wait(self, timeout: Optional[float] = None) -> bool:
@@ -100,16 +101,31 @@ class JobQueue:
         workers: worker thread count.  Mining is CPU-bound pure Python,
             so a small pool (default 2) keeps the GIL contention low
             while still overlapping mining with request handling.
+        start_id: first numeric job id to hand out.  A durable service
+            seeds this past the ids in its :class:`~repro.service.store.
+            JobStore` so resurrected and fresh jobs never collide.
+        observer: called with a :meth:`snapshot`-shaped dict after every
+            job transition (queued, running, terminal), outside the
+            queue lock — the durability hook.  Notifications for one job
+            may arrive out of order for sub-millisecond jobs; consumers
+            must treat terminal states as final.
     """
 
-    def __init__(self, workers: int = 2, name: str = "repro-miner") -> None:
+    def __init__(
+        self,
+        workers: int = 2,
+        name: str = "repro-miner",
+        start_id: int = 1,
+        observer: Optional[Callable[[dict], None]] = None,
+    ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self._queue: "queue.Queue[Optional[Job]]" = queue.Queue()
         self._jobs: dict[str, Job] = {}
         self._job_fns: dict[str, Callable[[Job], Any]] = {}
         self._lock = threading.Lock()
-        self._ids = itertools.count(1)
+        self._ids = itertools.count(max(1, start_id))
+        self._observer = observer
         self._closed = False
         self._threads = [
             threading.Thread(target=self._worker, name=f"{name}-{index}")
@@ -125,21 +141,40 @@ class JobQueue:
         """Size of the worker thread pool."""
         return len(self._threads)
 
-    def submit(self, fn: Callable[[Job], Any]) -> Job:
+    def next_id(self) -> str:
+        """Reserve and return a fresh job id without submitting.
+
+        A durable service records a job in its store *before* the queue
+        can start running it (otherwise a fast job's transitions would
+        race the insert); reserving the id first makes that ordering
+        possible.
+        """
+        return f"job-{next(self._ids)}"
+
+    def submit(
+        self, fn: Callable[[Job], Any], job_id: Optional[str] = None
+    ) -> Job:
         """Enqueue ``fn`` and return its job handle immediately.
 
         ``fn`` receives the :class:`Job` (so it can poll
         ``job.cancel_event``) and its return value becomes
         ``job.result``.  Raising :class:`JobCancelled` marks the job
-        cancelled instead of failed.
+        cancelled instead of failed.  ``job_id`` resurrects a specific
+        id (restart recovery re-enqueues a stored job under the id its
+        client is already polling); fresh submissions leave it None.
         """
         with self._lock:
             if self._closed:
                 raise RuntimeError("job queue is shut down")
-            job = Job(job_id=f"job-{next(self._ids)}")
+            if job_id is None:
+                job_id = f"job-{next(self._ids)}"
+            elif job_id in self._jobs:
+                raise ValueError(f"job id {job_id!r} already exists")
+            job = Job(job_id=job_id)
             self._jobs[job.job_id] = job
             self._job_fns[job.job_id] = fn
         self._queue.put(job)
+        self._notify(job)
         return job
 
     def get(self, job_id: str) -> Job:
@@ -162,6 +197,17 @@ class JobQueue:
                 payload["result"] = job.result
             return payload
 
+    def snapshots(self) -> list[dict]:
+        """Atomic snapshot of every known job (for store checkpoints)."""
+        with self._lock:
+            payloads = []
+            for job in self._jobs.values():
+                payload = job.describe()
+                if job.result is not None:
+                    payload["result"] = job.result
+                payloads.append(payload)
+            return payloads
+
     def cancel(self, job_id: str) -> Job:
         """Request cancellation of a job.
 
@@ -174,6 +220,7 @@ class JobQueue:
             if job.status == QUEUED:
                 self._finish(job, CANCELLED, error="cancelled before start")
             job.cancel_event.set()
+        self._notify(job)
         return job
 
     def describe(self) -> dict:
@@ -195,6 +242,7 @@ class JobQueue:
         ``cancel_running`` (otherwise they finish).  Idempotent, and on
         return no worker thread is alive.
         """
+        changed: list[Job] = []
         with self._lock:
             if self._closed:
                 already_closed = True
@@ -205,8 +253,11 @@ class JobQueue:
                     if job.status == QUEUED:
                         self._finish(job, CANCELLED, error="queue shut down")
                         job.cancel_event.set()
+                        changed.append(job)
                     elif job.status == RUNNING and cancel_running:
                         job.cancel_event.set()
+        for job in changed:
+            self._notify(job)
         if not already_closed:
             for _ in self._threads:
                 self._queue.put(None)
@@ -227,6 +278,7 @@ class JobQueue:
                 job.status = RUNNING
                 job.started_at = time.time()
                 fn = self._job_fns.pop(job.job_id)
+            self._notify(job)
             try:
                 try:
                     result = fn(job)
@@ -269,6 +321,30 @@ class JobQueue:
                             job, FAILED,
                             error="job ended without a terminal transition",
                         )
+                # One notification covers whichever terminal transition
+                # the try-arms above performed.
+                self._notify(job)
+
+    def _notify(self, job: Job) -> None:
+        """Deliver one observer notification for ``job``'s current state.
+
+        The snapshot is taken under the lock (consistent status/result
+        pair) but the observer runs outside it: a persistence hook doing
+        disk I/O must not serialize the whole queue, and must never be
+        able to deadlock against submit/cancel paths that also notify.
+        """
+        if self._observer is None:
+            return
+        with self._lock:
+            payload = job.describe()
+            if job.result is not None:
+                payload["result"] = job.result
+        try:
+            self._observer(payload)
+        except Exception:  # pragma: no cover - defensive
+            # A broken durability hook (disk full, closed store) must
+            # degrade to in-memory-only serving, not kill the worker.
+            traceback.print_exc()
 
     def _finish(
         self, job: Job, status: str, error: Optional[str] = None

@@ -48,9 +48,10 @@ from ..data.loaders import discretized_from_payload
 from ..parallel import AUTO_JOBS, pool_stats
 from .batching import MicroBatcher
 from .cache import MiningCache, dataset_fingerprint, mining_key
-from .jobs import DONE, JobQueue
-from .registry import ModelRegistry
-from .telemetry import Telemetry
+from .jobs import DONE, FAILED, QUEUED, RUNNING, JobQueue
+from .registry import ModelRecord, ModelRegistry
+from .store import JobStore
+from .telemetry import BATCH_SIZE_BUCKETS, Telemetry
 
 __all__ = ["RuleService", "ReproServer", "ServiceError", "topk_result_to_payload"]
 
@@ -129,6 +130,12 @@ class RuleService:
         node_budget / time_budget: default per-job mining budgets
             (overridable per request).
         batch_rows / batch_delay: micro-batching knobs for classify.
+        store_path: when given, a :class:`~repro.service.store.JobStore`
+            (SQLite, WAL) makes mining jobs and results durable: jobs
+            that were queued or running when the previous process died
+            are re-enqueued on construction under their original ids,
+            and finished results answer identical re-mines across
+            restarts.
     """
 
     def __init__(
@@ -141,12 +148,18 @@ class RuleService:
         time_budget: Optional[float] = 300.0,
         batch_rows: int = 256,
         batch_delay: float = 0.002,
+        store_path: Optional[str] = None,
     ) -> None:
         if mine_jobs != AUTO_JOBS and mine_jobs < 1:
             raise ValueError(f"mine_jobs must be >= 1 or 'auto', got {mine_jobs}")
         self.registry = ModelRegistry(models_dir)
         self.cache = MiningCache(cache_bytes)
-        self.jobs = JobQueue(workers=mining_workers)
+        self.store = JobStore(store_path) if store_path is not None else None
+        self.jobs = JobQueue(
+            workers=mining_workers,
+            start_id=(self.store.max_job_number() + 1) if self.store else 1,
+            observer=self.store.apply_snapshot if self.store else None,
+        )
         self.mine_jobs = mine_jobs
         self.telemetry = Telemetry()
         self.node_budget = node_budget
@@ -158,15 +171,41 @@ class RuleService:
         self._inflight: dict[str, str] = {}  # mining key -> active job id
         self._lock = threading.Lock()
         self._closed = False
+        if self.store is not None:
+            self._recover_jobs()
 
     # -- health / metrics --------------------------------------------------
 
     def health(self) -> dict:
-        return {
+        """Readiness payload: queue pressure and recovery state.
+
+        Beyond liveness, a load balancer (or an operator's curl) can see
+        how much mining work is queued and in flight, whether the warm
+        miner pool has been healing or degrading, and whether jobs are
+        durable.  The HTTP front ends add their own admission state on
+        top (the async server reports — and 503s — while shedding).
+        """
+        by_status = self.jobs.describe()["by_status"]
+        stats = pool_stats()
+        payload = {
             "status": "ok",
             "uptime_seconds": time.time() - self.started_at,
             "models": len(self.registry),
+            "queue_depth": by_status.get(QUEUED, 0),
+            "inflight_mines": by_status.get(RUNNING, 0),
+            "pool": {
+                "shard_retries": stats.get("shard_retries", 0),
+                "pool_restarts_on_failure": stats.get(
+                    "pool_restarts_on_failure", 0
+                ),
+                "serial_degradations": stats.get("serial_degradations", 0),
+            },
+            "durable": self.store is not None,
+            "shedding": False,
         }
+        if self.store is not None:
+            payload["store"] = self.store.stats()
+        return payload
 
     def metrics(self) -> dict:
         with self._lock:
@@ -181,13 +220,14 @@ class RuleService:
         # pool_restarts_on_failure and serial_degradations ride along —
         # the operator's first sign that workers are being killed).
         self.telemetry.set_gauges(pool_stats())
-        return self.telemetry.snapshot(
-            extra={
-                "cache": self.cache.stats(),
-                "jobs": self.jobs.describe(),
-                "batching": batching,
-            }
-        )
+        extra = {
+            "cache": self.cache.stats(),
+            "jobs": self.jobs.describe(),
+            "batching": batching,
+        }
+        if self.store is not None:
+            extra["store"] = self.store.stats()
+        return self.telemetry.snapshot(extra=extra)
 
     # -- models ------------------------------------------------------------
 
@@ -214,6 +254,21 @@ class RuleService:
 
     def classify(self, body: dict) -> dict:
         start = time.monotonic()
+        record, rows = self.resolve_classify(body)
+        pairs = self._batcher(record).submit(rows)
+        payload = self.classify_payload(record, pairs)
+        self.record_classify(len(rows), time.monotonic() - start)
+        return payload
+
+    def resolve_classify(
+        self, body: dict
+    ) -> tuple[ModelRecord, list[frozenset[int]]]:
+        """Validate a ``/classify`` body into ``(record, itemized rows)``.
+
+        Shared by both front ends: the threaded server feeds the rows to
+        the blocking :class:`MicroBatcher`, the asyncio server to its
+        event-loop coalescer.
+        """
         name = body.get("model")
         if not isinstance(name, str):
             raise ServiceError(400, "body must carry 'model' (string)")
@@ -239,13 +294,13 @@ class RuleService:
                 rows = [frozenset(int(i) for i in row) for row in rows]
             except (TypeError, ValueError):
                 raise ServiceError(400, "'rows' must be lists of item ids")
-        pairs = self._batcher(record).submit(rows)
+        return record, rows
+
+    def classify_payload(self, record: ModelRecord, pairs: list) -> dict:
+        """Render batched ``(label, source)`` pairs as a response body."""
         class_names = (
             record.pipeline.get("class_names") if record.pipeline else None
         )
-        self.telemetry.increment("classify_requests")
-        self.telemetry.increment("classify_rows", len(rows))
-        self.telemetry.observe("classify_seconds", time.monotonic() - start)
         return {
             "model": record.name,
             "version": record.version,
@@ -253,6 +308,18 @@ class RuleService:
             "sources": [source for _, source in pairs],
             "class_names": class_names,
         }
+
+    def record_classify(self, n_rows: int, seconds: float) -> None:
+        """Telemetry for one completed classify request (either front end)."""
+        self.telemetry.increment("classify_requests")
+        self.telemetry.increment("classify_rows", n_rows)
+        self.telemetry.observe("classify_seconds", seconds)
+
+    def observe_batch(self, n_rows: int) -> None:
+        """Record one coalesced predict_batch call's row count."""
+        self.telemetry.observe(
+            "classify_batch_size", n_rows, buckets=BATCH_SIZE_BUCKETS
+        )
 
     def _discretize_values(self, record, values) -> list[frozenset[int]]:
         if record.pipeline is None:
@@ -295,13 +362,16 @@ class RuleService:
                     max_batch_rows=self.batch_rows,
                     max_delay=self.batch_delay,
                     name=f"repro-batcher-{record.name}-v{record.version}",
+                    on_batch=self.observe_batch,
                 )
                 self._batchers[key] = batcher
             return batcher
 
     # -- mining ------------------------------------------------------------
 
-    def submit_mine(self, body: dict) -> dict:
+    def submit_mine(
+        self, body: dict, _replay_job_id: Optional[str] = None
+    ) -> dict:
         start = time.monotonic()
         items = body.get("items")
         if not isinstance(items, dict):
@@ -355,6 +425,22 @@ class RuleService:
                 "result": topk_result_to_payload(cached),
             }
         self.telemetry.increment("mine_cache_misses")
+        if self.store is not None:
+            # Content-addressed durable results outlive restarts: an
+            # identical request mined by a previous process incarnation
+            # answers from SQLite (mining is deterministic, so the
+            # stored payload equals what a fresh mine would produce).
+            stored = self.store.get_result(key)
+            if stored is not None:
+                self.telemetry.increment("mine_store_hits")
+                self.telemetry.observe("mine_submit_seconds",
+                                       time.monotonic() - start)
+                return {
+                    "status": DONE,
+                    "cached": True,
+                    "key": key,
+                    "result": stored,
+                }
 
         node_budget = _validate_budget(
             body, "node_budget", self.node_budget, integral=True
@@ -436,7 +522,29 @@ class RuleService:
                 # The registered job already reached a terminal state;
                 # drop the stale entry before registering a fresh one.
                 del self._inflight[key]
-            job = self.jobs.submit(run)
+            job_id = _replay_job_id
+            if self.store is not None:
+                # Persist the *normalized* request (minsup resolved,
+                # budgets validated, n_jobs capped) before the queue can
+                # touch the job: a crash from here on leaves a row the
+                # next boot replays verbatim — same mining key, same
+                # result, bit for bit.
+                if job_id is None:
+                    job_id = self.jobs.next_id()
+                self.store.record_submitted(job_id, key, {
+                    "items": items,
+                    "consequent": consequent,
+                    "minsup": minsup,
+                    "k": k,
+                    "engine": engine,
+                    "node_budget": node_budget,
+                    "time_budget": time_budget,
+                    "n_jobs": n_jobs,
+                })
+            if job_id is None:
+                job = self.jobs.submit(run)
+            else:
+                job = self.jobs.submit(run, job_id=job_id)
             self._inflight[key] = job.job_id
         self.telemetry.increment("mine_jobs_submitted")
         self.telemetry.observe("mine_submit_seconds", time.monotonic() - start)
@@ -447,6 +555,43 @@ class RuleService:
             "job_id": job.job_id,
         }
 
+    def _recover_jobs(self) -> None:
+        """Re-enqueue jobs a dead process left queued or running.
+
+        Runs once at construction, before any transport can accept
+        requests.  Each pending store row is replayed through
+        :meth:`submit_mine` under its *original* id, so a client that
+        submitted before the crash keeps polling the same ``/jobs/<id>``
+        URL and simply sees its job finish.  Replays that hit a durable
+        result adopt it; replays that deduplicate onto an identical
+        recovered job are recorded as proxies and answered through the
+        job they merged into.
+        """
+        assert self.store is not None
+        for entry in self.store.pending_jobs():
+            job_id = entry["job_id"]
+            try:
+                response = self.submit_mine(
+                    entry["request"], _replay_job_id=job_id
+                )
+            except ServiceError as error:
+                # The stored request was validated when first accepted;
+                # a rejected replay means the store was edited or the
+                # schema moved.  Fail the job visibly instead of
+                # resurrecting it forever.
+                self.store.apply_snapshot({
+                    "job_id": job_id,
+                    "status": FAILED,
+                    "error": f"replay rejected: {error}",
+                    "finished_at": time.time(),
+                })
+                continue
+            if response.get("cached"):
+                self.store.mark_finished_from_result(job_id, response["key"])
+            elif response.get("deduplicated"):
+                self.store.mark_proxy(job_id, response["job_id"])
+            self.telemetry.increment("mine_jobs_recovered")
+
     def job_status(self, job_id: str) -> dict:
         try:
             # Snapshot under the queue lock: a poller must never observe
@@ -454,13 +599,45 @@ class RuleService:
             # attached (or "done" without one).
             return self.jobs.snapshot(job_id)
         except KeyError:
-            raise ServiceError(404, f"unknown job {job_id!r}")
+            pass
+        # Jobs from previous process incarnations live only in the store.
+        if self.store is not None:
+            stored = self.store.get_job(job_id)
+            if stored is not None:
+                proxy = stored.pop("proxy_for", None)
+                if proxy is not None and stored["status"] in (QUEUED, RUNNING):
+                    try:
+                        live = dict(self.jobs.snapshot(proxy))
+                    except KeyError:
+                        live = self.store.get_job(proxy)
+                    if live is not None:
+                        live.pop("proxy_for", None)
+                        live["job_id"] = job_id
+                        live["deduplicated_into"] = proxy
+                        return live
+                return stored
+        raise ServiceError(404, f"unknown job {job_id!r}")
 
     def cancel_job(self, job_id: str) -> dict:
         try:
             self.jobs.cancel(job_id)
             payload = self.jobs.snapshot(job_id)
         except KeyError:
+            if self.store is not None:
+                stored = self.store.get_job(job_id)
+                if stored is not None:
+                    proxy = stored.get("proxy_for")
+                    if proxy is not None and stored["status"] in (
+                        QUEUED, RUNNING
+                    ):
+                        # The replayed job merged into a live one;
+                        # cancelling the handle cancels the target.
+                        return self.cancel_job(proxy)
+                    # Recovery re-enqueues every non-terminal row, so a
+                    # store-only job is terminal; cancel is a no-op.
+                    stored.pop("result", None)
+                    stored.pop("proxy_for", None)
+                    return stored
             raise ServiceError(404, f"unknown job {job_id!r}")
         self.telemetry.increment("mine_jobs_cancelled")
         payload.pop("result", None)
@@ -468,16 +645,45 @@ class RuleService:
 
     # -- lifecycle ---------------------------------------------------------
 
+    def checkpoint(self) -> None:
+        """Flush every known job's state and the WAL into the store file."""
+        if self.store is not None:
+            self.store.checkpoint(self.jobs.snapshots())
+
     def shutdown(self) -> None:
-        """Cancel mining, drain batchers, join every owned thread."""
+        """Cancel mining, drain batchers, join every owned thread.
+
+        With a durable store, shutdown also checkpoints: every job's
+        final state is flushed, and interrupted mines (queued or
+        running, not user-cancelled) are re-armed as ``queued`` so the
+        next boot resumes them — a graceful restart loses nothing a
+        kill -9 wouldn't.
+        """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
             batchers = list(self._batchers.values())
+        resumable: list[str] = []
+        if self.store is not None:
+            resumable = [
+                snap["job_id"] for snap in self.jobs.snapshots()
+                if snap["status"] in (QUEUED, RUNNING)
+                and not snap["cancel_requested"]
+            ]
         self.jobs.shutdown(cancel_running=True)
         for batcher in batchers:
             batcher.close()
+        if self.store is not None:
+            self.checkpoint()
+            for job_id in resumable:
+                row = self.store.get_job(job_id)
+                # A mine that completed inside the drain window keeps
+                # its terminal state; anything interrupted is re-armed.
+                if row is not None and row["status"] != DONE:
+                    self.store.requeue(job_id)
+            self.store.checkpoint()
+            self.store.close()
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -523,7 +729,11 @@ class _Handler(BaseHTTPRequestHandler):
             raise ServiceError(400, "request body must be a JSON object")
         return body
 
-    def _dispatch(self, fn) -> None:
+    def _dispatch(self, route: str, fn) -> None:
+        start = time.monotonic()
+        server = self.server
+        with server.inflight_lock:  # type: ignore[attr-defined]
+            server.inflight += 1  # type: ignore[attr-defined]
         self.service.telemetry.increment("http_requests")
         try:
             status, payload = fn()
@@ -533,19 +743,32 @@ class _Handler(BaseHTTPRequestHandler):
         except Exception as error:  # pragma: no cover - defensive
             self.service.telemetry.increment("http_errors")
             status, payload = 500, {"error": f"internal error: {error}"}
+        finally:
+            with server.inflight_lock:  # type: ignore[attr-defined]
+                server.inflight -= 1  # type: ignore[attr-defined]
         self._send_json(status, payload)
+        # Per-route latency under a normalized label (ids collapsed to
+        # '*') so /metrics exposes one histogram per endpoint, not per
+        # job.  Both front ends use the same label family.
+        self.service.telemetry.observe(
+            f"route_seconds:{route}", time.monotonic() - start
+        )
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
         if path == "/healthz":
-            self._dispatch(lambda: (200, self.service.health()))
+            self._dispatch("GET /healthz",
+                           lambda: (200, self.service.health()))
         elif path == "/metrics":
-            self._dispatch(lambda: (200, self.service.metrics()))
+            self._dispatch("GET /metrics",
+                           lambda: (200, self.service.metrics()))
         elif path == "/models":
-            self._dispatch(lambda: (200, self.service.list_models()))
+            self._dispatch("GET /models",
+                           lambda: (200, self.service.list_models()))
         elif path.startswith("/jobs/"):
             job_id = path[len("/jobs/"):]
-            self._dispatch(lambda: (200, self.service.job_status(job_id)))
+            self._dispatch("GET /jobs/*",
+                           lambda: (200, self.service.job_status(job_id)))
         else:
             self._send_json(404, {"error": f"no route for GET {path}"})
 
@@ -553,15 +776,18 @@ class _Handler(BaseHTTPRequestHandler):
         path = self.path.split("?", 1)[0].rstrip("/")
         if path == "/models":
             self._dispatch(
-                lambda: (201, self.service.register_model(self._read_json()))
+                "POST /models",
+                lambda: (201, self.service.register_model(self._read_json())),
             )
         elif path == "/classify":
             self._dispatch(
-                lambda: (200, self.service.classify(self._read_json()))
+                "POST /classify",
+                lambda: (200, self.service.classify(self._read_json())),
             )
         elif path == "/mine":
             self._dispatch(
-                lambda: (202, self.service.submit_mine(self._read_json()))
+                "POST /mine",
+                lambda: (202, self.service.submit_mine(self._read_json())),
             )
         else:
             self._send_json(404, {"error": f"no route for POST {path}"})
@@ -570,7 +796,8 @@ class _Handler(BaseHTTPRequestHandler):
         path = self.path.split("?", 1)[0].rstrip("/")
         if path.startswith("/jobs/"):
             job_id = path[len("/jobs/"):]
-            self._dispatch(lambda: (200, self.service.cancel_job(job_id)))
+            self._dispatch("DELETE /jobs/*",
+                           lambda: (200, self.service.cancel_job(job_id)))
         else:
             self._send_json(404, {"error": f"no route for DELETE {path}"})
 
@@ -603,6 +830,8 @@ class ReproServer:
         self._httpd.daemon_threads = True
         self._httpd.service = self.service  # type: ignore[attr-defined]
         self._httpd.verbose = verbose  # type: ignore[attr-defined]
+        self._httpd.inflight = 0  # type: ignore[attr-defined]
+        self._httpd.inflight_lock = threading.Lock()  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
 
     @property
@@ -638,10 +867,27 @@ class ReproServer:
         finally:
             self.stop()
 
-    def stop(self) -> None:
-        """Graceful shutdown: jobs cancelled, threads joined, socket closed."""
-        self.service.shutdown()
+    def stop(self, grace_seconds: float = 0.0) -> None:
+        """Graceful shutdown: jobs cancelled, threads joined, socket closed.
+
+        ``grace_seconds`` bounds a drain phase between "stop accepting"
+        and "tear the service down": in-flight handler threads get that
+        long to finish writing responses.  The default of 0 preserves
+        the immediate-stop behaviour the unit tests rely on; ``repro
+        serve`` passes its ``--grace-seconds``.
+        """
         self._httpd.shutdown()
+        if grace_seconds > 0:
+            deadline = time.monotonic() + grace_seconds
+            while time.monotonic() < deadline:
+                with self._httpd.inflight_lock:  # type: ignore[attr-defined]
+                    inflight = self._httpd.inflight  # type: ignore[attr-defined]
+                if inflight == 0:
+                    break
+                time.sleep(0.01)
+        # Shutdown checkpoints the job store (when configured) and
+        # re-arms interrupted mines for the next boot.
+        self.service.shutdown()
         self._httpd.server_close()
         if self._thread is not None:
             self._thread.join()

@@ -14,12 +14,19 @@ import threading
 from bisect import bisect_left
 from typing import Optional, Sequence
 
-__all__ = ["Telemetry", "LatencyHistogram"]
+__all__ = ["Telemetry", "LatencyHistogram", "BATCH_SIZE_BUCKETS"]
 
 # Upper bucket edges in seconds; chosen to resolve both sub-millisecond
 # cache hits and multi-second mining runs.
 DEFAULT_BUCKETS = (
     0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0, float("inf")
+)
+
+# Power-of-two row-count edges for the ``classify_batch_size`` histogram
+# — the observable proof that request coalescing actually batches (a
+# front end that never batches puts every observation in the "1" bucket).
+BATCH_SIZE_BUCKETS = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 1024, float("inf")
 )
 
 
@@ -82,13 +89,25 @@ class Telemetry:
         with self._lock:
             self._counters[name] = self._counters.get(name, 0) + amount
 
-    def observe(self, name: str, seconds: float) -> None:
-        """Record one duration in the named histogram."""
+    def observe(
+        self,
+        name: str,
+        value: float,
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        """Record one observation in the named histogram.
+
+        ``buckets`` customizes the edges the *first* time a histogram is
+        created (e.g. :data:`BATCH_SIZE_BUCKETS` for row counts instead
+        of seconds); later observations reuse the existing histogram.
+        """
         with self._lock:
             histogram = self._histograms.get(name)
             if histogram is None:
-                histogram = self._histograms[name] = LatencyHistogram()
-            histogram.observe(seconds)
+                histogram = self._histograms[name] = LatencyHistogram(
+                    buckets if buckets is not None else DEFAULT_BUCKETS
+                )
+            histogram.observe(value)
 
     def counter(self, name: str) -> int:
         """Current value of a counter (0 if never incremented)."""

@@ -12,7 +12,9 @@ from repro.classifiers import RCBTClassifier
 from repro.classifiers.persistence import classifier_to_payload
 from repro.data import random_discretized_dataset
 from repro.data.loaders import discretized_to_payload
-from repro.service import ReproServer
+from repro.service import AsyncReproServer, ReproServer
+
+SERVER_KINDS = {"legacy": ReproServer, "async": AsyncReproServer}
 
 
 def _request(url, body=None, method=None):
@@ -51,9 +53,14 @@ def _nondaemon_threads():
     ]
 
 
-@pytest.fixture
-def server():
-    instance = ReproServer(port=0, batch_delay=0.01).start()
+# The whole suite runs against both front ends: the threaded legacy
+# server and the batch-coalescing asyncio server must be behaviorally
+# interchangeable.
+@pytest.fixture(params=sorted(SERVER_KINDS))
+def server(request):
+    instance = SERVER_KINDS[request.param](
+        port=0, batch_delay=0.01
+    ).start()
     yield instance
     instance.stop()
 
@@ -196,9 +203,11 @@ class TestServingEndToEnd:
         })
         assert status == 400
 
-    def test_shutdown_leaves_no_nondaemon_threads(self, small_benchmark):
+    @pytest.mark.parametrize("kind", sorted(SERVER_KINDS))
+    def test_shutdown_leaves_no_nondaemon_threads(self, kind,
+                                                  small_benchmark):
         before = set(_nondaemon_threads())
-        instance = ReproServer(port=0).start()
+        instance = SERVER_KINDS[kind](port=0).start()
         base = instance.url
         model = RCBTClassifier(k=2, nl=2).fit(small_benchmark.train_items)
         _request(f"{base}/models", body={
