@@ -164,6 +164,7 @@ def mine_farmer(
     max_groups: Optional[int] = None,
     min_chi_square: float = 0.0,
     n_jobs: int = 1,
+    backend=None,
 ) -> FarmerResult:
     """Mine all rule groups above the given thresholds.
 
@@ -184,6 +185,10 @@ def mine_farmer(
             dispatches to :mod:`repro.parallel` (``None``/0 = all cores).
             Output and group order are identical; ``node_budget`` then
             applies per shard.
+        backend: bitset-operations backend name or instance (see
+            :mod:`repro.core.backends`); ``None`` follows
+            ``REPRO_BITSET_BACKEND``, then the ``int`` default.  Output
+            is bit-identical across backends.
 
     Returns:
         A :class:`FarmerResult`; when a budget was exhausted it carries
@@ -203,8 +208,9 @@ def mine_farmer(
             max_groups=max_groups,
             min_chi_square=min_chi_square,
             n_jobs=n_jobs,
+            backend=backend,
         )
-    view = MiningView.cached(dataset, consequent, minsup)
+    view = MiningView.cached(dataset, consequent, minsup, backend=backend)
     policy = FarmerPolicy(
         view,
         minconf=minconf,

@@ -35,6 +35,7 @@ from pathlib import Path
 from typing import Callable, Optional, Sequence
 
 from .baselines.farmer import FarmerResult, mine_farmer
+from .core.backends import available_backends
 from .core.topk_miner import TopkResult, mine_topk, relative_minsup
 from .data.loaders import load_benchmark
 from .experiments.harness import format_seconds
@@ -124,6 +125,12 @@ class BenchReport:
                 f"{entry['name']}: serial "
                 f"{format_seconds(entry['serial_seconds'])}"
             ]
+            for backend_name, measured in entry.get("backends", {}).items():
+                check = "ok" if measured["identical_output"] else "MISMATCH"
+                parts.append(
+                    f"{backend_name} {format_seconds(measured['seconds'])} "
+                    f"(x{measured['speedup']:.2f}, {check})"
+                )
             for jobs, measured in sorted(
                 entry["parallel"].items(), key=lambda kv: int(kv[0])
             ):
@@ -182,16 +189,18 @@ def _measure(
     train = data.train_items
     minsup = relative_minsup(train, 1, workload.fraction)
     if workload.miner == "topk":
-        serial_fn = lambda: mine_topk(
-            train, 1, minsup, k=workload.k, engine=workload.engine
+        serial_fn = lambda backend=None: mine_topk(
+            train, 1, minsup, k=workload.k, engine=workload.engine,
+            backend=backend,
         )
         parallel_fn = lambda n: mine_topk_parallel(
             train, 1, minsup, k=workload.k, engine=workload.engine, n_jobs=n
         )
         identical = results_equal
     else:
-        serial_fn = lambda: mine_farmer(
-            train, 1, minsup, minconf=workload.minconf, engine=workload.engine
+        serial_fn = lambda backend=None: mine_farmer(
+            train, 1, minsup, minconf=workload.minconf,
+            engine=workload.engine, backend=backend,
         )
         parallel_fn = lambda n: mine_farmer_parallel(
             train, 1, minsup, minconf=workload.minconf,
@@ -212,8 +221,22 @@ def _measure(
         "n_rows": train.n_rows,
         "serial_seconds": serial_seconds,
         "serial_nodes_visited": serial_result.stats.nodes_visited,
+        "backends": {},
         "parallel": {},
     }
+    # One serial column per available bitset backend (repro.core.backends):
+    # the default serial_seconds above ran under the ambient resolution,
+    # these pin each backend explicitly and assert bit-identical output.
+    for backend_name in available_backends():
+        seconds, result = _best_of(
+            lambda: serial_fn(backend=backend_name), repeats
+        )
+        entry["backends"][backend_name] = {
+            "seconds": seconds,
+            "speedup": serial_seconds / seconds if seconds > 0 else 0.0,
+            "identical_output": identical(serial_result, result),
+            "nodes_visited": result.stats.nodes_visited,
+        }
     for n_jobs in jobs:
         seconds, result = _best_of(lambda: parallel_fn(n_jobs), repeats)
         entry["parallel"][str(n_jobs)] = {
@@ -314,6 +337,23 @@ REGRESSION_MIN_DELTA_SECONDS = 0.005
 # meaningless.
 _COMPARE_KEYS = ("dataset", "miner", "engine", "k", "minsup", "n_rows")
 
+# What to run (and commit) when the gate reports a missing baseline
+# entry, surfaced verbatim in the failure line.
+_REBASELINE_COMMAND = (
+    "PYTHONPATH=src python -m repro.bench --include-quick "
+    "--output BENCH_core.json"
+)
+
+
+def _is_regression(
+    base_seconds: float, seconds: float, regression_factor: float
+) -> bool:
+    return (
+        base_seconds > 0
+        and seconds > regression_factor * base_seconds
+        and seconds - base_seconds > REGRESSION_MIN_DELTA_SECONDS
+    )
+
 
 def compare_reports(
     current: dict,
@@ -324,10 +364,20 @@ def compare_reports(
 
     Benchmarks are matched by name and only compared when their workload
     configuration is identical (:data:`_COMPARE_KEYS`).  Returns the
-    human-readable diff lines and an ``ok`` flag that is False iff any
-    compared benchmark's ``serial_seconds`` regressed by more than
-    ``regression_factor`` *and* by more than
-    :data:`REGRESSION_MIN_DELTA_SECONDS` in absolute terms.
+    human-readable diff lines and an ``ok`` flag that is False iff
+
+    * any compared benchmark's ``serial_seconds`` (or per-backend
+      ``backends.<name>.seconds`` column) regressed by more than
+      ``regression_factor`` *and* by more than
+      :data:`REGRESSION_MIN_DELTA_SECONDS` in absolute terms, or
+    * a current entry (or one of its backend columns) has no comparable
+      baseline entry.  A silently skipped workload is a hole in the
+      regression gate — the fix is to regenerate and commit the
+      baseline, and the failure line says exactly how.
+
+    The reverse direction stays a note, not a failure: a baseline
+    measured with an optional backend (numpy) still gates a host where
+    that backend is unavailable.
     """
     lines: list[str] = []
     ok = True
@@ -353,7 +403,11 @@ def compare_reports(
         name = entry.get("name")
         base = baseline_by_name.get(name)
         if base is None:
-            lines.append(f"  {name}: no baseline entry — skipped")
+            ok = False
+            lines.append(
+                f"  {name}: MISSING BASELINE — no entry in the committed "
+                f"report; regenerate it with: {_REBASELINE_COMMAND}"
+            )
             continue
         mismatched = [
             key for key in _COMPARE_KEYS if entry.get(key) != base.get(key)
@@ -368,11 +422,7 @@ def compare_reports(
         base_serial = base["serial_seconds"]
         serial = entry["serial_seconds"]
         speedup = base_serial / serial if serial > 0 else float("inf")
-        regressed = (
-            base_serial > 0
-            and serial > regression_factor * base_serial
-            and serial - base_serial > REGRESSION_MIN_DELTA_SECONDS
-        )
+        regressed = _is_regression(base_serial, serial, regression_factor)
         if regressed:
             ok = False
         status = "REGRESSION" if regressed else (
@@ -382,10 +432,47 @@ def compare_reports(
             f"  {name}: serial {format_seconds(base_serial)} -> "
             f"{format_seconds(serial)} (x{speedup:.2f}, {status})"
         )
+        base_backends = base.get("backends", {})
+        for backend_name, measured in entry.get("backends", {}).items():
+            base_measured = base_backends.get(backend_name)
+            if base_measured is None:
+                ok = False
+                lines.append(
+                    f"  {name}[{backend_name}]: MISSING BASELINE — no "
+                    f"backend column in the committed report; regenerate "
+                    f"it with: {_REBASELINE_COMMAND}"
+                )
+                continue
+            base_seconds = base_measured["seconds"]
+            seconds = measured["seconds"]
+            backend_speedup = (
+                base_seconds / seconds if seconds > 0 else float("inf")
+            )
+            regressed = _is_regression(
+                base_seconds, seconds, regression_factor
+            )
+            if regressed:
+                ok = False
+            status = "REGRESSION" if regressed else (
+                "faster" if backend_speedup >= 1.0 else "slower"
+            )
+            lines.append(
+                f"  {name}[{backend_name}]: "
+                f"{format_seconds(base_seconds)} -> "
+                f"{format_seconds(seconds)} (x{backend_speedup:.2f}, "
+                f"{status})"
+            )
+        for backend_name in base_backends:
+            if backend_name not in entry.get("backends", {}):
+                lines.append(
+                    f"  {name}[{backend_name}]: baseline-only backend "
+                    "(unavailable on this host) — skipped"
+                )
     header = (
         f"baseline comparison — {compared} compared, "
         f"{'ok' if ok else 'REGRESSED'} "
-        f"(fail threshold: serial > {regression_factor:g}x baseline)"
+        f"(fail threshold: serial > {regression_factor:g}x baseline, "
+        "or a current entry/backend column with no baseline)"
     )
     return [header, *lines], ok
 

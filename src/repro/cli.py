@@ -136,11 +136,12 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         result = mine_topk_parallel(
             dataset, args.consequent, minsup, k=args.k, engine=args.engine,
             n_jobs=args.jobs, fault=FaultPlan.parse(args.fault),
+            backend=args.backend,
         )
     else:
         result = mine_topk(
             dataset, args.consequent, minsup, k=args.k, engine=args.engine,
-            n_jobs=args.jobs,
+            n_jobs=args.jobs, backend=args.backend,
         )
     if result.stats.degraded:
         print("note: worker loss degraded this mine to serial execution "
@@ -388,6 +389,12 @@ def build_parser() -> argparse.ArgumentParser:
                       help="used when --minsup is not given")
     mine.add_argument("--engine", choices=("bitset", "table", "tree"),
                       default="bitset")
+    mine.add_argument("--backend", choices=("int", "packed", "numpy"),
+                      default=None,
+                      help="bitset-operations backend (default: the "
+                           "REPRO_BITSET_BACKEND environment variable, "
+                           "then 'int'; results are identical across "
+                           "backends)")
     mine.add_argument("--jobs", type=_jobs_arg, default=1,
                       help="worker processes for the mine (0 = all cores, "
                            "'auto' = let the planner decide; output is "

@@ -1,0 +1,134 @@
+"""Pluggable vectorized bitset-operation backends.
+
+Every hot path in the reproduction — closure intersection, backward
+pruning subset tests, support popcounts (paper §4.1, Figure 3) —
+bottoms out in operations over row bitsets.  This package makes the
+*implementation* of those operations pluggable while keeping the
+*representation* at the API boundary fixed: *every backend consumes and
+returns plain Python ``int`` bitsets* (bit ``i`` set means row ``i``
+present, exactly as in :mod:`repro.core.bitset`), so results are
+bit-identical across backends by construction.  What a backend may vary
+is how it stores an *encoded support table* internally and how it
+executes the batch operations over it:
+
+``int`` (default)
+    The pure arbitrary-precision-integer implementation the package has
+    always used.  No encoding, no dependencies; batch calls are tight
+    loops over ``&``/``|``/``int.bit_count``.
+
+``packed``
+    Supports packed into 64-bit words (``array("Q")``) with a
+    table-driven 16-bit popcount.  Pure stdlib.
+
+``numpy``
+    Supports packed into a ``uint64`` matrix; ``intersect_many`` is one
+    ``np.bitwise_and.reduce`` over a row slice, popcounts go through
+    ``np.bitwise_count``.  Import-guarded: the backend registers only
+    when numpy is importable, and nothing else in the package imports
+    numpy.
+
+Selection precedence (see :func:`resolve_backend`):
+
+1. an explicit ``backend=`` argument (a name or a
+   :class:`~repro.core.backends.base.BitsetBackend` instance) threaded
+   through ``MiningView``/``mine_topk``/``mine_farmer``/the service;
+2. the ``REPRO_BITSET_BACKEND`` environment variable;
+3. the ``int`` default.
+
+The batch contract every backend honours (and
+``tests/test_backends.py`` enforces on audit-generator cases):
+
+* ``encode_supports(bitsets, n_bits)`` returns an opaque handle over a
+  support table; ``intersect_many(handle, ids)`` /
+  ``union_many(handle, ids)`` / ``intersect_union_many(handle, ids)``
+  fold the selected supports in one call and return plain ``int``
+  bitsets equal to the ``&``/``|`` folds;
+* ``popcount_many(bitsets)`` equals ``[popcount(b) for b in bitsets]``;
+* the scalar index helpers (``bit``/``from_indices``/``mask_below``/
+  ``mask_upto``...) share one validated implementation, so every
+  backend agrees on edge semantics — negative indices raise
+  ``ValueError`` everywhere.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Union
+
+from .base import BitsetBackend
+from .int_backend import IntBackend
+from .packed_backend import PackedBackend
+
+__all__ = [
+    "BitsetBackend",
+    "DEFAULT_BACKEND",
+    "ENV_VAR",
+    "available_backends",
+    "get_backend",
+    "resolve_backend",
+]
+
+ENV_VAR = "REPRO_BITSET_BACKEND"
+DEFAULT_BACKEND = "int"
+
+# Name -> singleton instance.  Backends are stateless (the per-view
+# state lives in the encoded handles), so one shared instance per
+# process is enough and lets SupportIndex compare backends by identity.
+_REGISTRY: dict[str, BitsetBackend] = {
+    "int": IntBackend(),
+    "packed": PackedBackend(),
+}
+
+try:  # numpy is optional: pure Python stays the default.
+    from .numpy_backend import NumpyBackend
+
+    _REGISTRY["numpy"] = NumpyBackend()
+except ImportError:  # pragma: no cover - exercised on numpy-free hosts
+    NumpyBackend = None
+
+# Names a user may ask for, available or not — used for CLI choices and
+# for the "unavailable" (vs "unknown") error distinction.
+KNOWN_BACKENDS = ("int", "packed", "numpy")
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of the backends usable in this process, default first."""
+    return tuple(
+        sorted(_REGISTRY, key=lambda name: (name != DEFAULT_BACKEND, name))
+    )
+
+
+def get_backend(name: str) -> BitsetBackend:
+    """The registered backend singleton for ``name``.
+
+    Raises:
+        ValueError: unknown name, or a known backend whose optional
+            dependency is missing in this environment.
+    """
+    backend = _REGISTRY.get(name)
+    if backend is None:
+        if name in KNOWN_BACKENDS:
+            raise ValueError(
+                f"bitset backend {name!r} is not available in this "
+                f"environment (is its dependency installed?); available: "
+                f"{', '.join(available_backends())}"
+            )
+        raise ValueError(
+            f"unknown bitset backend {name!r}; expected one of "
+            f"{', '.join(KNOWN_BACKENDS)}"
+        )
+    return backend
+
+
+def resolve_backend(
+    backend: Optional[Union[str, BitsetBackend]] = None,
+) -> BitsetBackend:
+    """Apply the selection precedence: argument > environment > default."""
+    if isinstance(backend, BitsetBackend):
+        return backend
+    if backend is not None:
+        return get_backend(backend)
+    env = os.environ.get(ENV_VAR, "").strip()
+    if env:
+        return get_backend(env)
+    return _REGISTRY[DEFAULT_BACKEND]

@@ -1,0 +1,111 @@
+"""The backend contract and the shared scalar index helpers.
+
+A backend is a strategy object for bitset *operations*; bitset *values*
+crossing the API are always plain Python ``int``s (the package-wide
+representation of :mod:`repro.core.bitset`), which is what makes every
+backend bit-identical by construction — only the execution of the batch
+folds differs.
+
+The scalar index helpers (``bit``/``from_indices``/``mask_below``/
+``mask_upto``...) are implemented once on this base class, on top of the
+validated functions in :mod:`repro.core.bitset`.  Subclasses are free to
+override the *batch* operations but inherit the scalar ones, so the edge
+semantics (negative index -> ``ValueError``) cannot drift between
+backends; ``tests/test_backends.py`` drives every operation through
+every backend to enforce exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from .. import bitset as _bitset
+
+__all__ = ["BitsetBackend"]
+
+
+class BitsetBackend:
+    """Base class: shared scalar ops + the batch-operation contract.
+
+    Batch contract (``ids`` are indices into the encoded support
+    table; results are plain ``int`` bitsets):
+
+    * ``encode_supports(bitsets, n_bits)`` -> opaque handle; ``n_bits``
+      is the universe size (row count) every bitset fits in.
+    * ``intersect_many(handle, ids)`` == fold of ``&`` over the
+      selected supports; ``ids`` must be non-empty (an ``&``-fold has
+      no identity element bounded by the handle alone).
+    * ``union_many(handle, ids)`` == fold of ``|``; empty ``ids`` -> 0.
+    * ``intersect_union_many(handle, ids)`` == both folds in one call —
+      the per-node shape of the bitset enumeration kernel.
+    * ``popcount_many(bitsets)`` == ``[popcount(b) for b in bitsets]``
+      over plain ints (no handle: the kernels count freshly derived
+      masks, not table rows).
+    """
+
+    #: Registry name; subclasses set it.
+    name: str = "base"
+
+    # -- scalar index helpers (shared, validated) -------------------------
+
+    @staticmethod
+    def bit(index: int) -> int:
+        return _bitset.bit(index)
+
+    @staticmethod
+    def from_indices(indices: Iterable[int]) -> int:
+        return _bitset.from_indices(indices)
+
+    @staticmethod
+    def to_indices(bits: int) -> list[int]:
+        return _bitset.to_indices(bits)
+
+    @staticmethod
+    def iter_indices(bits: int) -> Iterator[int]:
+        return _bitset.iter_indices(bits)
+
+    @staticmethod
+    def is_subset(smaller: int, larger: int) -> bool:
+        return _bitset.is_subset(smaller, larger)
+
+    @staticmethod
+    def contains(bits: int, index: int) -> bool:
+        return _bitset.contains(bits, index)
+
+    @staticmethod
+    def lowest_bit_index(bits: int) -> int:
+        return _bitset.lowest_bit_index(bits)
+
+    @staticmethod
+    def mask_below(index: int) -> int:
+        return _bitset.mask_below(index)
+
+    @staticmethod
+    def mask_upto(index: int) -> int:
+        return _bitset.mask_upto(index)
+
+    def popcount(self, bits: int) -> int:
+        return bits.bit_count()
+
+    # -- batch operations (subclasses override) ---------------------------
+
+    def encode_supports(self, bitsets: Sequence[int], n_bits: int):
+        """Encode a support table for the batch folds.  Subclasses may
+        return any handle their batch methods understand; the default is
+        a plain tuple of the ints."""
+        return tuple(bitsets)
+
+    def intersect_many(self, handle, ids: Sequence[int]) -> int:
+        raise NotImplementedError
+
+    def union_many(self, handle, ids: Sequence[int]) -> int:
+        raise NotImplementedError
+
+    def intersect_union_many(self, handle, ids: Sequence[int]) -> tuple[int, int]:
+        raise NotImplementedError
+
+    def popcount_many(self, bitsets: Sequence[int]) -> list[int]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,79 @@
+"""Optional numpy backend: support table as a ``uint64`` word matrix.
+
+``encode_supports`` packs the table into one contiguous
+``(n_supports, n_words)`` ``uint64`` array; ``intersect_many`` /
+``union_many`` are single ``np.bitwise_and.reduce`` /
+``np.bitwise_or.reduce`` calls over a row slice, and ``popcount_many``
+goes through ``np.bitwise_count``.  Results cross back to plain ``int``
+bitsets at the call boundary, so outputs are bit-identical to the
+default backend by construction.
+
+This module is import-guarded by the package ``__init__``: importing it
+raises ``ImportError`` when numpy is absent and the backend simply does
+not register — nothing else in the package imports numpy.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .base import BitsetBackend
+
+__all__ = ["NumpyBackend"]
+
+if not hasattr(np, "bitwise_count"):  # numpy < 2.0
+    raise ImportError("numpy backend needs numpy >= 2.0 (np.bitwise_count)")
+
+
+def _to_int(words: "np.ndarray") -> int:
+    return int.from_bytes(words.tobytes(), "little")
+
+
+class NumpyBackend(BitsetBackend):
+    name = "numpy"
+
+    def encode_supports(self, bitsets: Sequence[int], n_bits: int):
+        n_words = max(1, (n_bits + 63) // 64)
+        buffer = bytearray()
+        for bits in bitsets:
+            buffer += bits.to_bytes(n_words * 8, "little")
+        matrix = np.frombuffer(bytes(buffer), dtype="<u8")
+        return matrix.reshape(len(bitsets), n_words), n_words
+
+    def intersect_many(self, handle, ids: Sequence[int]) -> int:
+        if not len(ids):
+            raise ValueError("intersect_many needs at least one id")
+        matrix, _n_words = handle
+        return _to_int(np.bitwise_and.reduce(matrix[list(ids)], axis=0))
+
+    def union_many(self, handle, ids: Sequence[int]) -> int:
+        matrix, n_words = handle
+        if not len(ids):
+            return 0
+        return _to_int(np.bitwise_or.reduce(matrix[list(ids)], axis=0))
+
+    def intersect_union_many(self, handle, ids: Sequence[int]) -> tuple[int, int]:
+        if not len(ids):
+            raise ValueError("intersect_union_many needs at least one id")
+        matrix, _n_words = handle
+        selected = matrix[list(ids)]
+        return (
+            _to_int(np.bitwise_and.reduce(selected, axis=0)),
+            _to_int(np.bitwise_or.reduce(selected, axis=0)),
+        )
+
+    def popcount_many(self, bitsets: Sequence[int]) -> list[int]:
+        if not bitsets:
+            return []
+        n_bits = max(bits.bit_length() for bits in bitsets)
+        n_words = max(1, (n_bits + 63) // 64)
+        buffer = bytearray()
+        for bits in bitsets:
+            buffer += bits.to_bytes(n_words * 8, "little")
+        matrix = np.frombuffer(bytes(buffer), dtype="<u8").reshape(
+            len(bitsets), n_words
+        )
+        counts = np.bitwise_count(matrix).sum(axis=1)
+        return [int(count) for count in counts]

@@ -30,14 +30,26 @@ __all__ = [
 
 
 def bit(index: int) -> int:
-    """Return a bitset containing only ``index``."""
+    """Return a bitset containing only ``index``.
+
+    Raises:
+        ValueError: if ``index`` is negative.
+    """
+    if index < 0:
+        raise ValueError(f"bitset indices are non-negative, got {index}")
     return 1 << index
 
 
 def from_indices(indices: Iterable[int]) -> int:
-    """Build a bitset from an iterable of non-negative indices."""
+    """Build a bitset from an iterable of non-negative indices.
+
+    Raises:
+        ValueError: if any index is negative.
+    """
     bits = 0
     for index in indices:
+        if index < 0:
+            raise ValueError(f"bitset indices are non-negative, got {index}")
         bits |= 1 << index
     return bits
 
@@ -82,10 +94,25 @@ def lowest_bit_index(bits: int) -> int:
 
 
 def mask_below(index: int) -> int:
-    """Return a bitset of all indices strictly below ``index``."""
+    """Return a bitset of all indices strictly below ``index``.
+
+    ``mask_below(0)`` is the empty mask.
+
+    Raises:
+        ValueError: if ``index`` is negative.
+    """
+    if index < 0:
+        raise ValueError(f"mask_below needs a non-negative index, got {index}")
     return (1 << index) - 1
 
 
 def mask_upto(index: int) -> int:
-    """Return a bitset of all indices at or below ``index``."""
+    """Return a bitset of all indices at or below ``index``.
+
+    Raises:
+        ValueError: if ``index`` is negative (there is no non-empty prefix
+        ending below index 0; use ``mask_below(0)`` for the empty mask).
+    """
+    if index < 0:
+        raise ValueError(f"mask_upto needs a non-negative index, got {index}")
     return (1 << (index + 1)) - 1

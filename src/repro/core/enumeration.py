@@ -269,6 +269,13 @@ def _walk_bitset(
     tight_prunable = policy.tight_prunable
     emit = policy.emit
     bitset_root = support.bitset_root
+    # One backend call per node: the closure/union fold over the node's
+    # surviving items and the four support counts each go through the
+    # view's backend in a single batch call.
+    backend = support.backend
+    support_handle = support._handle
+    fold_many = backend.intersect_union_many
+    popcount_many = backend.popcount_many
 
     all_rows = mask_below(view.n_rows)
     root_rem_p = bit_count(all_rows & positive_mask)
@@ -309,12 +316,10 @@ def _walk_bitset(
                     new_items = [i for i in items if i in present]
                     if not new_items:
                         continue
-                    closure = item_rows[new_items[0]]
-                    union = closure
-                    for item in new_items[1:]:
-                        rows = item_rows[item]
-                        closure &= rows
-                        union |= rows
+                    if len(new_items) == 1:
+                        closure = union = item_rows[new_items[0]]
+                    else:
+                        closure, union = fold_many(support_handle, new_items)
                     # Backward pruning (step 7): a row before r outside X
                     # containing I(X ∪ {r}) means this group was found in
                     # an earlier subtree.
@@ -322,10 +327,12 @@ def _walk_bitset(
                         backward += 1
                         continue
                     new_cand = todo & union & ~closure
-                    new_x_p = bit_count(closure & positive_mask)
-                    new_x_n = bit_count(closure) - new_x_p
-                    m_p = bit_count(new_cand & positive_mask)
-                    new_r_n = bit_count(new_cand) - m_p
+                    new_x_p, x_all, m_p, cand_all = popcount_many((
+                        closure & positive_mask, closure,
+                        new_cand & positive_mask, new_cand,
+                    ))
+                    new_x_n = x_all - new_x_p
+                    new_r_n = cand_all - m_p
                     new_threshold = (closure | new_cand) & positive_mask
                 else:
                     # Root frame: every value below is a pure function of
@@ -522,12 +529,18 @@ def _walk_tree(
     positive_mask = view.positive_mask
     n_positive = view.n_positive
     item_rows = support.item_rows
-    bit_count = int.bit_count
     charge_node = budget.charge_node
     loose_prunable = policy.loose_prunable
     tight_prunable = policy.tight_prunable
     emit = policy.emit
     tree_root = support.tree_root
+    # One backend call per node for the closure fold and the two support
+    # counts (the candidate counters come from the projected tree's row
+    # scan, which stays a list walk).
+    backend = support.backend
+    support_handle = support._handle
+    intersect_many = backend.intersect_many
+    popcount_many = backend.popcount_many
 
     # The root tree and its per-row projections are pure functions of the
     # view; both come from the SupportIndex (kernels only read projected
@@ -588,18 +601,21 @@ def _walk_tree(
                     # sets; the projected tree only keeps rows after r
                     # (Section 3's projected transposed table), so earlier
                     # rows must be probed against the original supports.
-                    closure = item_rows[new_items[0]]
-                    for item in new_items[1:]:
-                        closure &= item_rows[item]
+                    if len(new_items) == 1:
+                        closure = item_rows[new_items[0]]
+                    else:
+                        closure = intersect_many(support_handle, new_items)
                     if closure & (r_bit - 1) & ~x_bits:
                         backward += 1
                         continue
                     new_cand_rows = [
-                        row for row in projected._row_freq
+                        row for row in projected.row_freq()
                         if not closure >> row & 1
                     ]
-                    new_x_p = bit_count(closure & positive_mask)
-                    new_x_n = bit_count(closure) - new_x_p
+                    new_x_p, x_all = popcount_many(
+                        (closure & positive_mask, closure)
+                    )
+                    new_x_n = x_all - new_x_p
                     m_p = 0
                     new_cand_pos_bits = 0
                     for row in new_cand_rows:

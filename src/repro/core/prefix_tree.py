@@ -15,6 +15,17 @@ follows the header links of ``r``: every item whose path passes through an
 node.  Items whose path *ends* at an ``r`` node have no rows left; they
 remain members of ``I(X ∪ {r})`` (the tree keeps them in ``exhausted``)
 but cannot extend further.
+
+Projections are built **lazily**.  ``project(r)`` returns a tree that
+knows its source ``r``-nodes but has not walked their subtrees yet:
+``n_items`` comes straight from the nodes' pass-through counts (an item's
+path crosses ``r`` exactly once, so the counts sum to ``|I(X ∪ {r})|``)
+and ``all_items()`` is a light items-only walk.  The header table and row
+frequencies — the expensive part, and for merged projections the only
+part that allocates nodes — materialize on first access.  The tree
+enumeration kernel backward-prunes well over half its projections after
+looking only at the item list, so those projections never pay for
+header/frequency construction at all.
 """
 
 from __future__ import annotations
@@ -25,18 +36,54 @@ __all__ = ["PrefixTreeNode", "PrefixTree"]
 
 
 class PrefixTreeNode:
-    """One trie node: a row id, pass-through count, and terminal items."""
+    """One trie node: a row id, pass-through count, and terminal items.
 
-    __slots__ = ("row", "count", "children", "items")
+    ``items_below`` lazily caches the subtree's full item list (computed
+    by :func:`_node_items_below`).  Aliased projections share trie nodes,
+    so one subtree's item list serves every projection that contains it —
+    compute it after the tree is fully built; ``insert`` does not
+    invalidate it.
+    """
+
+    __slots__ = ("row", "count", "children", "items", "items_below")
 
     def __init__(self, row: int) -> None:
         self.row = row
         self.count = 0
         self.children: dict[int, "PrefixTreeNode"] = {}
         self.items: list[int] = []
+        self.items_below: Optional[list[int]] = None
 
     def __repr__(self) -> str:
         return f"PrefixTreeNode(row={self.row}, count={self.count})"
+
+
+def _node_items_below(node: PrefixTreeNode) -> list[int]:
+    """The subtree's items — the node's own, then each child subtree in
+    *reverse* child order (the historical stack-walk order, which the
+    projection item lists must reproduce exactly).  Cached per node."""
+    cached = node.items_below
+    if cached is not None:
+        return cached
+    stack = [node]
+    while stack:
+        current = stack[-1]
+        if current.items_below is not None:
+            stack.pop()
+            continue
+        pending = [
+            child for child in current.children.values()
+            if child.items_below is None
+        ]
+        if pending:
+            stack.extend(pending)
+            continue
+        result = list(current.items)
+        for child in reversed(list(current.children.values())):
+            result.extend(child.items_below)
+        current.items_below = result
+        stack.pop()
+    return node.items_below
 
 
 class PrefixTree:
@@ -44,7 +91,8 @@ class PrefixTree:
 
     Attributes:
         root: virtual root node (row id -1).
-        header: row id -> list of nodes labelled with that row.
+        header: row id -> list of nodes labelled with that row
+            (materializes a lazy projection on access).
         exhausted: item ids that are in ``I(X)`` but have no remaining
             rows in this projection.
         n_items: total items represented, including exhausted ones —
@@ -53,7 +101,7 @@ class PrefixTree:
 
     def __init__(self) -> None:
         self.root = PrefixTreeNode(-1)
-        self.header: dict[int, list[PrefixTreeNode]] = {}
+        self._header: dict[int, list[PrefixTreeNode]] = {}
         self.exhausted: list[int] = []
         self.n_items = 0
         self._items_cache: Optional[list[int]] = None
@@ -61,6 +109,16 @@ class PrefixTree:
         # merge), so the step-10 scan is a dict read instead of a header
         # walk.  Keys appear in the same first-touch order as `header`.
         self._row_freq: dict[int, int] = {}
+        # Source r-nodes of an unmaterialized projection; None once the
+        # header/frequency tables are built (or for trees built by
+        # ``insert``, which maintains them incrementally).
+        self._pending: Optional[Sequence[PrefixTreeNode]] = None
+        # Memoized child projections, keyed by row.  A projection is a
+        # pure function of an immutable tree, and kernels only read
+        # projected trees, so the whole projection DAG can be shared
+        # across runs — the tree-engine analogue of the SupportIndex
+        # fold memo the bitset engine warms up on repeat mines.
+        self._projections: dict[int, "PrefixTree"] = {}
 
     @classmethod
     def from_items(cls, tuples: Iterable[tuple[int, Sequence[int]]]) -> "PrefixTree":
@@ -74,6 +132,8 @@ class PrefixTree:
         """Insert one tuple; an empty row list records an exhausted item."""
         self.n_items += 1
         self._items_cache = None
+        if self._projections:
+            self._projections = {}
         if not rows:
             self.exhausted.append(item)
             return
@@ -84,15 +144,28 @@ class PrefixTree:
             if child is None:
                 child = PrefixTreeNode(row)
                 node.children[row] = child
-                self.header.setdefault(row, []).append(child)
+                self._header.setdefault(row, []).append(child)
             child.count += 1
             row_freq[row] = row_freq.get(row, 0) + 1
             node = child
         node.items.append(item)
 
+    @property
+    def header(self) -> dict[int, list[PrefixTreeNode]]:
+        if self._pending is not None:
+            self._materialize()
+        return self._header
+
     def rows_present(self) -> list[int]:
         """Sorted row ids appearing in at least one tuple."""
         return sorted(self.header)
+
+    def row_freq(self) -> dict[int, int]:
+        """Row id -> item count, materialized, without the copy of
+        :meth:`row_frequencies` — the kernels' read-only fast path."""
+        if self._pending is not None:
+            self._materialize()
+        return self._row_freq
 
     def row_frequencies(self) -> dict[int, int]:
         """Row id -> number of items whose tuple contains the row.
@@ -102,18 +175,21 @@ class PrefixTree:
         through it.  The counts are maintained incrementally as the tree
         is built, so this is a dict copy, not a header walk.
         """
-        return dict(self._row_freq)
+        return dict(self.row_freq())
 
     def all_items(self) -> list[int]:
         """Every item represented in this projection (``I(X)``)."""
         if self._items_cache is not None:
             return self._items_cache
-        items = list(self.exhausted)
-        stack = [self.root]
-        while stack:
-            node = stack.pop()
-            items.extend(node.items)
-            stack.extend(node.children.values())
+        if self._pending is not None:
+            items = self._collect_pending_items()
+        else:
+            items = list(self.exhausted)
+            stack = [self.root]
+            while stack:
+                node = stack.pop()
+                items.extend(node.items)
+                stack.extend(node.children.values())
         self._items_cache = items
         return items
 
@@ -121,51 +197,96 @@ class PrefixTree:
         """Build the projection onto row ``r`` (rows after ``r`` only).
 
         Follows the header links of ``r``: each ``r``-labelled node's
-        subtree is merged structurally into the new tree (shared paths
-        merge node-by-node, counts adding up), and items terminating at
-        the ``r`` node itself become exhausted.  This is the prefix-tree
+        subtree belongs to the projection, and items terminating at the
+        ``r`` node itself become exhausted.  This is the prefix-tree
         payoff — work is proportional to the number of *trie nodes*
-        below ``r``, not to items × path length.
+        below ``r``, not to items × path length.  The returned tree is
+        lazy: ``n_items``/``exhausted`` are ready (pass-through counts),
+        the header and frequency tables build on first access.
+
+        Projections are memoized per tree.  A repeat mine over a cached
+        view therefore reuses the entire projection DAG from the
+        previous run instead of rebuilding it node by node — memory
+        stays bounded by the enumeration tree the kernel walks anyway.
         """
-        nodes = self.header.get(r, ())
-        if len(nodes) == 1:
-            return self._alias_projection(nodes[0])
+        projected = self._projections.get(r)
+        if projected is not None:
+            return projected
+        if self._pending is not None:
+            self._materialize()
+        nodes = self._header.get(r)
         projected = PrefixTree()
-        collected: list[int] = []
-        for node in nodes:
-            if node.items:
-                projected.exhausted.extend(node.items)
-                projected.n_items += len(node.items)
-                collected.extend(node.items)
-            for child in node.children.values():
-                projected._merge_subtree(projected.root, child, collected)
-        projected._items_cache = collected
+        if nodes:
+            n_items = 0
+            exhausted = projected.exhausted
+            for node in nodes:
+                n_items += node.count
+                if node.items:
+                    exhausted.extend(node.items)
+            projected.n_items = n_items
+            projected._pending = nodes
+        self._projections[r] = projected
         return projected
 
-    def _alias_projection(self, node: PrefixTreeNode) -> "PrefixTree":
-        """Projection onto a row with a single header node.
+    def _collect_pending_items(self) -> list[int]:
+        """The pending projection's item list, in the exact order
+        materialization would first touch the items.  Built from the
+        per-node subtree caches: the single-source (alias) walk visits
+        children LIFO — reverse order, i.e. ``items_below`` itself — and
+        the merge walk visits children in order, each subtree LIFO."""
+        sources = self._pending
+        if len(sources) == 1:
+            return _node_items_below(sources[0])
+        collected: list[int] = []
+        for node in sources:
+            collected.extend(node.items)
+            for child in node.children.values():
+                collected.extend(_node_items_below(child))
+        return collected
+
+    def _materialize(self) -> None:
+        """Build the header/frequency tables (and tree structure, when
+        sources must merge) deferred by :meth:`project`.
+
+        Everything is built into local structures and published with
+        plain attribute assignments, ``_pending`` cleared last: lazy
+        projections are shared across runs (and potentially threads),
+        and a concurrent second materialization must at worst redo the
+        work, never observe or corrupt a half-built table.
+        """
+        sources = self._pending
+        if self._items_cache is None:
+            self._items_cache = self._collect_pending_items()
+        if len(sources) == 1:
+            self._alias_subtree(sources[0])
+        else:
+            root = PrefixTreeNode(-1)
+            header: dict[int, list[PrefixTreeNode]] = {}
+            row_freq: dict[int, int] = {}
+            for node in sources:
+                for child in node.children.values():
+                    self._merge_subtree(root, child, header, row_freq)
+            self.root.children = root.children
+            self._header = header
+            self._row_freq = row_freq
+        self._pending = None
+
+    def _alias_subtree(self, node: PrefixTreeNode) -> None:
+        """Materialize a single-source projection by sharing subtrees.
 
         With one source node, every subtree below it lands on a distinct
         branch of the projection (sibling rows are distinct in a trie),
         so no paths ever merge and every count is unchanged.  The
-        projected tree can therefore *share* the source subtrees and only
-        build its own header/frequency tables by walking them — no node
+        projected tree therefore *shares* the source subtrees and only
+        builds its own header/frequency tables by walking them — no node
         is copied.  Safe because projections are read-only once built:
         merging only ever mutates the destination tree's fresh nodes,
         and an aliased tree is never a merge destination.
         """
-        projected = PrefixTree()
-        if node.items:
-            projected.exhausted.extend(node.items)
-            projected.n_items = len(node.items)
-        collected = list(node.items)
-        header = projected.header
-        row_freq = projected._row_freq
-        root_children = projected.root.children
-        added_items = 0
+        header: dict[int, list[PrefixTreeNode]] = {}
+        row_freq: dict[int, int] = {}
         stack = list(node.children.values())
-        for child in stack:
-            root_children[child.row] = child
+        root_children = {child.row: child for child in stack}
         pop = stack.pop
         push = stack.extend
         while stack:
@@ -177,28 +298,23 @@ class PrefixTree:
             else:
                 links.append(current)
             row_freq[row] = row_freq.get(row, 0) + current.count
-            items = current.items
-            if items:
-                added_items += len(items)
-                collected.extend(items)
             push(current.children.values())
-        projected.n_items += added_items
-        projected._items_cache = collected
-        return projected
+        self.root.children = root_children
+        self._header = header
+        self._row_freq = row_freq
 
     def _merge_subtree(
         self,
         destination: PrefixTreeNode,
         source: PrefixTreeNode,
-        collected: list[int],
+        header: dict[int, list[PrefixTreeNode]],
+        row_freq: dict[int, int],
     ) -> None:
-        """Merge ``source`` (and its subtree) under ``destination``."""
-        header = self.header
-        row_freq = self._row_freq
+        """Merge ``source`` (and its subtree) under ``destination``,
+        recording new nodes in the caller's local tables."""
         stack = [(destination, source)]
         pop = stack.pop
         push = stack.append
-        added_items = 0
         while stack:
             dst_parent, src = pop()
             row = src.row
@@ -218,11 +334,8 @@ class PrefixTree:
             items = src.items
             if items:
                 dst.items.extend(items)
-                added_items += len(items)
-                collected.extend(items)
             for child in src.children.values():
                 push((dst, child))
-        self.n_items += added_items
 
     def __repr__(self) -> str:
         return (

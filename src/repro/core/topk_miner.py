@@ -307,6 +307,7 @@ def mine_topk(
     time_budget: Optional[float] = None,
     cancel=None,
     n_jobs: "int | str" = 1,
+    backend=None,
 ) -> TopkResult:
     """Mine the top-k covering rule groups of every consequent-class row.
 
@@ -340,6 +341,11 @@ def mine_topk(
             core count).  The output is bit-identical either way; with
             workers, ``node_budget`` applies per shard and ``stats`` node
             counters are summed across shards (see DESIGN.md §7, §9).
+        backend: bitset-operations backend — a name (``int``, ``packed``,
+            ``numpy``) or a :class:`~repro.core.backends.BitsetBackend`
+            instance; ``None`` follows the ``REPRO_BITSET_BACKEND``
+            environment variable, then the ``int`` default.  Results and
+            stats are bit-identical across backends (DESIGN.md §12).
 
     Returns:
         A :class:`TopkResult` with per-row lists and run statistics.  When
@@ -362,8 +368,9 @@ def mine_topk(
             time_budget=time_budget,
             cancel=cancel,
             n_jobs=n_jobs,
+            backend=backend,
         )
-    view = MiningView.cached(dataset, consequent, minsup)
+    view = MiningView.cached(dataset, consequent, minsup, backend=backend)
     policy = TopkPolicy(
         view,
         k,

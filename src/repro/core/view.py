@@ -17,8 +17,9 @@ from __future__ import annotations
 
 import threading
 import weakref
-from typing import TYPE_CHECKING, Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence, Union
 
+from .backends import BitsetBackend, resolve_backend
 from .bitset import mask_below, popcount
 
 if TYPE_CHECKING:  # pragma: no cover - import is for annotations only
@@ -27,9 +28,9 @@ if TYPE_CHECKING:  # pragma: no cover - import is for annotations only
 __all__ = ["MiningView", "SupportIndex"]
 
 
-# Views keyed by (consequent, minsup) per live dataset object; entries die
-# with the dataset.  Guarded by a lock because the service mines from
-# several job threads at once.
+# Views keyed by (consequent, minsup, backend) per live dataset object;
+# entries die with the dataset.  Guarded by a lock because the service
+# mines from several job threads at once.
 _VIEW_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 _VIEW_CACHE_LOCK = threading.Lock()
 
@@ -52,33 +53,47 @@ class MiningView:
             (restricted to frequent items; infrequent items map to 0).
         row_items: position -> frozenset of frequent item ids.
         positive_mask: bitset of consequent-class positions.
+        backend: the resolved :class:`~repro.core.backends.BitsetBackend`
+            executing the batch bitset operations of the support index.
     """
 
     @classmethod
     def cached(
-        cls, dataset: "DiscretizedDataset", consequent: int, minsup: int
+        cls,
+        dataset: "DiscretizedDataset",
+        consequent: int,
+        minsup: int,
+        backend: Optional[Union[str, BitsetBackend]] = None,
     ) -> "MiningView":
-        """Return a shared view for (dataset, consequent, minsup).
+        """Return a shared view for (dataset, consequent, minsup, backend).
 
         Views (and the :class:`SupportIndex` each one lazily grows) are
         pure functions of their arguments, so every miner entry point —
         serial, sharded, merge, pool worker — can share one instance per
         live dataset object.  The cache is weak-keyed on the dataset:
-        entries disappear when the dataset is garbage collected.
+        entries disappear when the dataset is garbage collected.  The
+        resolved backend name is part of the key because the support
+        index binds backend-encoded support tables.
         """
+        resolved = resolve_backend(backend)
         with _VIEW_CACHE_LOCK:
             per_dataset = _VIEW_CACHE.get(dataset)
             if per_dataset is None:
                 per_dataset = _VIEW_CACHE[dataset] = {}
-            view = per_dataset.get((consequent, minsup))
+            key = (consequent, minsup, resolved.name)
+            view = per_dataset.get(key)
             if view is None:
-                view = per_dataset[(consequent, minsup)] = cls(
-                    dataset, consequent, minsup
+                view = per_dataset[key] = cls(
+                    dataset, consequent, minsup, backend=resolved
                 )
             return view
 
     def __init__(
-        self, dataset: "DiscretizedDataset", consequent: int, minsup: int
+        self,
+        dataset: "DiscretizedDataset",
+        consequent: int,
+        minsup: int,
+        backend: Optional[Union[str, BitsetBackend]] = None,
     ) -> None:
         if minsup < 1:
             raise ValueError(f"minsup must be >= 1, got {minsup}")
@@ -90,6 +105,7 @@ class MiningView:
         self.dataset = dataset
         self.consequent = consequent
         self.minsup = minsup
+        self.backend: BitsetBackend = resolve_backend(backend)
 
         # Step 1: frequent items.  A rule group's support counts only
         # consequent-class rows, so items appearing in fewer than minsup
@@ -214,6 +230,10 @@ class SupportIndex:
     * interns the item support bitsets (equal supports share one ``int``
       object, so repeated intersections reuse cached small-int paths and
       the pair memo below can key on identity-cheap tuples),
+    * encodes the interned supports once through the view's backend and
+      exposes the batch folds (:meth:`intersect_many`,
+      :meth:`intersect_union_many`, :meth:`popcount_many`) the kernels
+      call once per node instead of once per item,
     * precomputes per-item popcounts (also the planner's work estimate),
     * memoizes pairwise support intersections on demand, and
     * memoizes the complete first-level node data per engine family.
@@ -235,11 +255,13 @@ class SupportIndex:
 
     def __init__(self, view: MiningView) -> None:
         self.view = view
+        self.backend = view.backend
         interned: dict[int, int] = {}
         self.item_rows: list[int] = [
             interned.setdefault(rows, rows) for rows in view.item_rows
         ]
-        self.item_counts: list[int] = [rows.bit_count() for rows in self.item_rows]
+        self._handle = self.backend.encode_supports(self.item_rows, view.n_rows)
+        self.item_counts: list[int] = self.backend.popcount_many(self.item_rows)
         self.support_mass: int = sum(
             self.item_counts[item] for item in view.frequent_items
         )
@@ -247,6 +269,20 @@ class SupportIndex:
         self._bitset_roots: dict[int, tuple] = {}
         self._tree_roots: dict[int, tuple] = {}
         self._root_tree = None
+
+    # -- batch operations over the encoded support table -------------------
+
+    def intersect_many(self, items: Sequence[int]) -> int:
+        """``R(itemset)``: one backend fold over the items' supports."""
+        return self.backend.intersect_many(self._handle, items)
+
+    def intersect_union_many(self, items: Sequence[int]) -> tuple[int, int]:
+        """Closure and union of the items' supports in one backend call."""
+        return self.backend.intersect_union_many(self._handle, items)
+
+    def popcount_many(self, bitsets: Sequence[int]) -> list[int]:
+        """Population counts of freshly derived masks, batched."""
+        return self.backend.popcount_many(bitsets)
 
     def pair_rows(self, first: int, second: int) -> int:
         """Memoized ``R({first}) ∩ R({second})`` for two item ids."""
@@ -271,30 +307,26 @@ class SupportIndex:
 
     def _compute_bitset_root(self, r: int) -> tuple:
         view = self.view
-        item_rows = self.item_rows
         new_items = sorted(view.row_items[r])
         if not new_items:
             return self.EMPTY
-        if len(new_items) >= 2:
-            closure = self.pair_rows(new_items[0], new_items[1])
-            union = item_rows[new_items[0]] | item_rows[new_items[1]]
-            for item in new_items[2:]:
-                rows = item_rows[item]
-                closure &= rows
-                union |= rows
+        if len(new_items) == 1:
+            closure = union = self.item_rows[new_items[0]]
         else:
-            closure = union = item_rows[new_items[0]]
+            closure, union = self.intersect_union_many(new_items)
         r_bit = 1 << r
         if closure & (r_bit - 1):
             return self.BACKWARD
         positive_mask = view.positive_mask
-        bit_count = int.bit_count
         above = mask_below(view.n_rows) & ~(r_bit | (r_bit - 1))
         new_cand = above & union & ~closure
-        new_x_p = bit_count(closure & positive_mask)
-        new_x_n = bit_count(closure) - new_x_p
-        m_p = bit_count(new_cand & positive_mask)
-        new_r_n = bit_count(new_cand) - m_p
+        x_pos, x_all, cand_pos, cand_all = self.popcount_many(
+            (closure & positive_mask, closure, new_cand & positive_mask, new_cand)
+        )
+        new_x_p = x_pos
+        new_x_n = x_all - x_pos
+        m_p = cand_pos
+        new_r_n = cand_all - cand_pos
         new_threshold = (closure | new_cand) & positive_mask
         return (
             "node", new_items, closure, new_cand,
@@ -334,21 +366,18 @@ class SupportIndex:
         if projected.n_items == 0:
             return self.EMPTY
         new_items = projected.all_items()
-        item_rows = self.item_rows
-        closure = item_rows[new_items[0]]
-        for item in new_items[1:]:
-            closure &= item_rows[item]
+        closure = self.intersect_many(new_items)
         r_bit = 1 << r
         if closure & (r_bit - 1):
             return self.BACKWARD
         positive_mask = view.positive_mask
         n_positive = view.n_positive
-        bit_count = int.bit_count
         new_cand_rows = [
             row for row in projected.row_frequencies() if not closure >> row & 1
         ]
-        new_x_p = bit_count(closure & positive_mask)
-        new_x_n = bit_count(closure) - new_x_p
+        x_pos, x_all = self.popcount_many((closure & positive_mask, closure))
+        new_x_p = x_pos
+        new_x_n = x_all - x_pos
         m_p = 0
         cand_pos_bits = 0
         for row in new_cand_rows:

@@ -81,6 +81,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable, Optional, Sequence
 
 from .baselines.farmer import FarmerPolicy, FarmerResult
+from .core.backends import resolve_backend
 from .core.enumeration import POLL_STRIDE, MinerStats, run_enumeration
 from .core.topk_miner import TopkPolicy, TopkResult, maybe_check_result
 from .core.view import MiningView
@@ -161,7 +162,12 @@ _AUTO_FARMER_SERIAL_UNITS = 100_000
 
 @dataclass(frozen=True)
 class MineRequest:
-    """One MineTopkRGS mining job, shardable across workers."""
+    """One MineTopkRGS mining job, shardable across workers.
+
+    ``backend`` is the bitset-backend *name* (never an instance — the
+    request ships to worker processes as part of the task pickle), or
+    ``None`` for each process's own environment/default resolution.
+    """
 
     consequent: int
     minsup: int
@@ -171,6 +177,7 @@ class MineRequest:
     dynamic_minsup: bool = True
     use_topk_pruning: bool = True
     node_budget: Optional[int] = None
+    backend: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -184,6 +191,7 @@ class FarmerRequest:
     node_budget: Optional[int] = None
     max_groups: Optional[int] = None
     min_chi_square: float = 0.0
+    backend: Optional[str] = None
 
 
 class InjectedFault(RuntimeError):
@@ -493,7 +501,9 @@ def _mine_shard(kind: str, request, shard_mask: int, dataset, cancel,
     and the parent's serial fallback (caller's token polled directly,
     remaining global deadline passed as ``time_budget``).
     """
-    view = MiningView.cached(dataset, request.consequent, request.minsup)
+    view = MiningView.cached(
+        dataset, request.consequent, request.minsup, backend=request.backend
+    )
     if kind == "topk":
         policy = TopkPolicy(
             view,
@@ -1029,7 +1039,9 @@ def _merge_topk(
     confidence/support ties by insertion order, so any other merge order
     could flip a tie against the serial result.
     """
-    view = MiningView.cached(dataset, request.consequent, request.minsup)
+    view = MiningView.cached(
+        dataset, request.consequent, request.minsup, backend=request.backend
+    )
     policy = TopkPolicy(
         view,
         request.k,
@@ -1082,7 +1094,8 @@ def mine_topk_sharded(
     if n_jobs == AUTO_JOBS:
         total_units = sum(
             estimate_topk_work(
-                MiningView.cached(dataset, request.consequent, request.minsup),
+                MiningView.cached(dataset, request.consequent, request.minsup,
+                                  backend=request.backend),
                 request.k,
             )
             for request in requests
@@ -1106,13 +1119,15 @@ def mine_topk_sharded(
                 node_budget=request.node_budget,
                 time_budget=time_budget,
                 cancel=cancel,
+                backend=request.backend,
             )
             for request in requests
         ]
     jobs: list[tuple[str, object, int]] = []
     spans: list[tuple[int, int]] = []
     for request in requests:
-        view = MiningView.cached(dataset, request.consequent, request.minsup)
+        view = MiningView.cached(dataset, request.consequent, request.minsup,
+                                 backend=request.backend)
         shards = plan_shards(view.n_rows, n_workers)
         spans.append((len(jobs), len(jobs) + len(shards)))
         jobs.extend(("topk", request, mask) for mask in shards)
@@ -1146,10 +1161,13 @@ def mine_topk_parallel(
     cancel=None,
     n_jobs: Optional[int] = None,
     fault: Optional[FaultPlan] = None,
+    backend=None,
 ) -> TopkResult:
     """Parallel :func:`~repro.core.topk_miner.mine_topk` — same signature
     plus ``n_jobs`` (``"auto"`` allowed) and the ``fault`` injection
-    hook, bit-identical output."""
+    hook, bit-identical output.  ``backend`` is resolved here (name, env
+    or default) and pinned into the request so every worker uses the
+    parent's choice."""
     request = MineRequest(
         consequent=consequent,
         minsup=minsup,
@@ -1159,6 +1177,7 @@ def mine_topk_parallel(
         dynamic_minsup=dynamic_minsup,
         use_topk_pruning=use_topk_pruning,
         node_budget=node_budget,
+        backend=resolve_backend(backend).name,
     )
     return mine_topk_sharded(
         dataset, [request], n_jobs=n_jobs, time_budget=time_budget,
@@ -1179,6 +1198,7 @@ def mine_farmer_parallel(
     n_jobs: Optional[int] = None,
     cancel=None,
     fault: Optional[FaultPlan] = None,
+    backend=None,
 ) -> FarmerResult:
     """Parallel :func:`~repro.baselines.farmer.mine_farmer`.
 
@@ -1188,8 +1208,10 @@ def mine_farmer_parallel(
     merged list is truncated to the serial stopping point.
     ``n_jobs="auto"`` plans from :func:`estimate_farmer_work`.
     """
+    backend_name = resolve_backend(backend).name
     if n_jobs == AUTO_JOBS:
-        view = MiningView.cached(dataset, consequent, minsup)
+        view = MiningView.cached(dataset, consequent, minsup,
+                                 backend=backend_name)
         n_workers = plan_auto_workers(
             estimate_farmer_work(view), _AUTO_FARMER_SERIAL_UNITS
         )
@@ -1208,6 +1230,7 @@ def mine_farmer_parallel(
             time_budget=time_budget,
             max_groups=max_groups,
             min_chi_square=min_chi_square,
+            backend=backend_name,
         )
     request = FarmerRequest(
         consequent=consequent,
@@ -1217,8 +1240,9 @@ def mine_farmer_parallel(
         node_budget=node_budget,
         max_groups=max_groups,
         min_chi_square=min_chi_square,
+        backend=backend_name,
     )
-    view = MiningView.cached(dataset, consequent, minsup)
+    view = MiningView.cached(dataset, consequent, minsup, backend=backend_name)
     shards = plan_shards(view.n_rows, n_workers)
     jobs = [("farmer", request, mask) for mask in shards]
     outputs, recovery = _execute(

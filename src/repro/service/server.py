@@ -26,7 +26,10 @@ A ``/mine`` request is answered from cache when an identical
 ``(dataset fingerprint, consequent, minsup, k, engine)`` run already
 finished, and deduplicated onto the in-flight job when one is still
 running — repeated interactive sweeps over one dataset (the paper's own
-use case) pay mining cost once.
+use case) pay mining cost once.  The optional ``backend`` field selects
+the bitset-operations backend (:mod:`repro.core.backends`); it is
+deliberately *not* part of the cache key because results are
+bit-identical across backends.
 """
 
 from __future__ import annotations
@@ -39,6 +42,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..core.backends import available_backends
 from ..core.bitset import iter_indices
 from ..core.enumeration import ENGINES
 from ..core.topk_miner import TopkResult, mine_topk, relative_minsup
@@ -399,6 +403,14 @@ class RuleService:
             raise ServiceError(
                 400, f"unknown engine {engine!r}; expected one of {ENGINES}"
             )
+        backend = body.get("backend")
+        if backend is not None:
+            available = available_backends()
+            if backend not in available:
+                raise ServiceError(
+                    400, f"unknown backend {backend!r}; expected one of "
+                         f"{tuple(available)}"
+                )
         minsup = body.get("minsup")
         if minsup is None:
             try:
@@ -474,7 +486,7 @@ class RuleService:
                 result = mine_topk(
                     dataset, consequent, minsup, k=k, engine=engine,
                     node_budget=node_budget, time_budget=time_budget,
-                    cancel=job.cancel_event, n_jobs=n_jobs,
+                    cancel=job.cancel_event, n_jobs=n_jobs, backend=backend,
                 )
                 # Pure enumeration time, excluding queueing, dataset
                 # decoding and result serialization.
@@ -537,6 +549,7 @@ class RuleService:
                     "minsup": minsup,
                     "k": k,
                     "engine": engine,
+                    "backend": backend,
                     "node_budget": node_budget,
                     "time_budget": time_budget,
                     "n_jobs": n_jobs,

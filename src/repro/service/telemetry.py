@@ -26,7 +26,7 @@ DEFAULT_BUCKETS = (
 # — the observable proof that request coalescing actually batches (a
 # front end that never batches puts every observation in the "1" bucket).
 BATCH_SIZE_BUCKETS = (
-    1, 2, 4, 8, 16, 32, 64, 128, 256, 1024, float("inf")
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, float("inf")
 )
 
 

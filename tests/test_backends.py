@@ -1,0 +1,323 @@
+"""Cross-backend property suite for :mod:`repro.core.backends`.
+
+Every backend must be observationally identical to the plain-int
+implementation: same scalar helper results and edge semantics, same
+batch-fold results over encoded support tables, and — end to end — the
+same mining output *and* the same ``MinerStats``, counter for counter.
+The mining cases come from the audit generator so the sweep covers the
+degenerate shapes (duplicates, empty rows, single class, tie-heavy
+lists) the differential audit exercises.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+from operator import and_, or_
+
+import pytest
+
+from repro.audit.generator import generate_cases
+from repro.baselines.farmer import mine_farmer
+from repro.core import bitset as B
+from repro.core.backends import (
+    DEFAULT_BACKEND,
+    ENV_VAR,
+    BitsetBackend,
+    available_backends,
+    get_backend,
+    resolve_backend,
+)
+from repro.core.enumeration import ENGINES
+from repro.core.topk_miner import mine_topk
+from repro.core.view import MiningView
+from repro.parallel import results_equal
+
+BACKENDS = available_backends()
+ALTERNATES = tuple(name for name in BACKENDS if name != DEFAULT_BACKEND)
+
+CASES = generate_cases(seed=11, n_cases=6)
+
+COUNTERS = (
+    "nodes_visited",
+    "groups_emitted",
+    "loose_pruned",
+    "tight_pruned",
+    "backward_pruned",
+)
+
+
+def _counters(stats) -> dict:
+    return {name: getattr(stats, name) for name in COUNTERS}
+
+
+# ---------------------------------------------------------------------------
+# Registry and selection precedence
+# ---------------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_stdlib_backends_always_available(self):
+        assert "int" in BACKENDS
+        assert "packed" in BACKENDS
+
+    def test_default_listed_first(self):
+        assert BACKENDS[0] == DEFAULT_BACKEND == "int"
+
+    def test_get_backend_singleton(self):
+        assert get_backend("packed") is get_backend("packed")
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown bitset backend"):
+            get_backend("simd512")
+
+    def test_known_but_unavailable_distinguished(self):
+        if "numpy" in BACKENDS:
+            pytest.skip("numpy backend available in this environment")
+        with pytest.raises(ValueError, match="not available"):
+            get_backend("numpy")
+
+
+class TestResolvePrecedence:
+    def test_default_when_nothing_set(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert resolve_backend().name == DEFAULT_BACKEND
+
+    def test_environment_variable_respected(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "packed")
+        assert resolve_backend().name == "packed"
+
+    def test_blank_environment_value_ignored(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "   ")
+        assert resolve_backend().name == DEFAULT_BACKEND
+
+    def test_argument_beats_environment(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "packed")
+        assert resolve_backend("int").name == "int"
+
+    def test_instance_passes_through(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "int")
+        backend = get_backend("packed")
+        assert resolve_backend(backend) is backend
+
+    def test_bad_environment_value_raises(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "simd512")
+        with pytest.raises(ValueError, match="unknown bitset backend"):
+            resolve_backend()
+
+    def test_view_cache_keyed_by_backend(self):
+        case = CASES[0]
+        default = MiningView.cached(case.dataset, case.consequent, case.minsup)
+        again = MiningView.cached(
+            case.dataset, case.consequent, case.minsup, backend="int"
+        )
+        packed = MiningView.cached(
+            case.dataset, case.consequent, case.minsup, backend="packed"
+        )
+        assert default is again
+        assert packed is not default
+        assert packed.backend.name == "packed"
+
+
+# ---------------------------------------------------------------------------
+# Scalar helpers: every backend == repro.core.bitset, edge cases included
+# ---------------------------------------------------------------------------
+
+_SAMPLE_INDEX_SETS = (
+    [],
+    [0],
+    [5],
+    [0, 1, 2],
+    [7, 3, 63],
+    [64],
+    [0, 63, 64, 127, 200],
+)
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+class TestScalarHelpers:
+    def test_matches_bitset_module(self, backend_name):
+        backend = get_backend(backend_name)
+        assert isinstance(backend, BitsetBackend)
+        for indices in _SAMPLE_INDEX_SETS:
+            bits = backend.from_indices(indices)
+            assert bits == B.from_indices(indices)
+            assert backend.to_indices(bits) == B.to_indices(bits)
+            assert list(backend.iter_indices(bits)) == B.to_indices(bits)
+            assert backend.popcount(bits) == B.popcount(bits) == len(indices)
+            for index in indices:
+                assert backend.bit(index) == B.bit(index)
+                assert backend.contains(bits, index)
+            if indices:
+                assert backend.lowest_bit_index(bits) == min(indices)
+        for index in (0, 1, 17, 64, 130):
+            assert backend.mask_below(index) == B.mask_below(index)
+            assert backend.mask_upto(index) == B.mask_upto(index)
+        assert backend.is_subset(0b0101, 0b1101)
+        assert not backend.is_subset(0b0111, 0b1101)
+
+    @pytest.mark.parametrize("index", (-1, -7))
+    def test_negative_index_edges_agree(self, backend_name, index):
+        """All backends share the validated edge semantics: a negative
+        index raises the same clear ValueError everywhere."""
+        backend = get_backend(backend_name)
+        with pytest.raises(ValueError, match="non-negative"):
+            backend.bit(index)
+        with pytest.raises(ValueError, match="non-negative"):
+            backend.from_indices([0, index])
+        with pytest.raises(ValueError, match=f"mask_below.*got {index}"):
+            backend.mask_below(index)
+        with pytest.raises(ValueError, match=f"mask_upto.*got {index}"):
+            backend.mask_upto(index)
+
+    def test_empty_bitset_lowest_raises(self, backend_name):
+        with pytest.raises(ValueError):
+            get_backend(backend_name).lowest_bit_index(0)
+
+
+# ---------------------------------------------------------------------------
+# Batch contract: encoded folds == naive int folds
+# ---------------------------------------------------------------------------
+
+
+def _id_selections(n: int) -> list[list[int]]:
+    """Deterministic id subsets exercising singletons, pairs, strides and
+    the full table."""
+    if n == 0:
+        return []
+    picks = [[0], [n - 1], list(range(n)), list(range(0, n, 2))]
+    if n > 1:
+        picks.append([0, n - 1])
+        picks.append([n - 1, 0])  # order must not matter
+    if n > 3:
+        picks.append([1, 3, 2])
+    return picks
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+class TestBatchContract:
+    def test_folds_match_reference_on_audit_cases(self, backend_name):
+        backend = get_backend(backend_name)
+        for case in CASES:
+            view = MiningView(case.dataset, case.consequent, case.minsup)
+            table = view.item_rows
+            handle = backend.encode_supports(table, view.n_rows)
+            for ids in _id_selections(len(table)):
+                expected_and = reduce(and_, (table[i] for i in ids))
+                expected_or = reduce(or_, (table[i] for i in ids), 0)
+                label = f"case {case.index}, backend {backend_name}, ids {ids}"
+                assert backend.intersect_many(handle, ids) == expected_and, label
+                assert backend.union_many(handle, ids) == expected_or, label
+                assert backend.intersect_union_many(handle, ids) == (
+                    expected_and, expected_or,
+                ), label
+
+    def test_multiword_folds(self, backend_name):
+        """Bitsets spanning many 64-bit words — the audit datasets fit in
+        one word, so the word-boundary logic needs its own drive."""
+        backend = get_backend(backend_name)
+        n_bits = 523  # deliberately not a multiple of 64
+        table = [
+            B.from_indices(range(start, n_bits, stride))
+            for start, stride in ((0, 1), (1, 2), (3, 7), (64, 64), (522, 523))
+        ]
+        handle = backend.encode_supports(table, n_bits)
+        for ids in _id_selections(len(table)):
+            expected_and = reduce(and_, (table[i] for i in ids))
+            expected_or = reduce(or_, (table[i] for i in ids), 0)
+            assert backend.intersect_many(handle, ids) == expected_and
+            assert backend.union_many(handle, ids) == expected_or
+            assert backend.intersect_union_many(handle, ids) == (
+                expected_and, expected_or,
+            )
+
+    def test_union_many_empty_ids_is_empty_set(self, backend_name):
+        backend = get_backend(backend_name)
+        handle = backend.encode_supports([0b101, 0b110], 3)
+        assert backend.union_many(handle, []) == 0
+
+    def test_encode_empty_table(self, backend_name):
+        """A view with no frequent items encodes an empty table without
+        blowing up (the numpy backend once failed the (0, n) reshape)."""
+        backend = get_backend(backend_name)
+        handle = backend.encode_supports([], 5)
+        assert backend.union_many(handle, []) == 0
+
+    def test_popcount_many_matches_scalar(self, backend_name):
+        backend = get_backend(backend_name)
+        bitsets = [
+            0,
+            1,
+            0b1011,
+            B.mask_below(64),
+            B.mask_below(200),
+            B.from_indices([0, 63, 64, 127, 511]),
+        ]
+        assert backend.popcount_many(bitsets) == [
+            B.popcount(bits) for bits in bitsets
+        ]
+        assert backend.popcount_many([]) == []
+
+
+# ---------------------------------------------------------------------------
+# End to end: identical mining results AND identical MinerStats
+# ---------------------------------------------------------------------------
+
+
+class TestEndToEndIdentity:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_topk_results_and_stats(self, engine):
+        assert ALTERNATES, "packed backend must always be registered"
+        for case in CASES:
+            baseline = mine_topk(
+                case.dataset, case.consequent, case.minsup, k=case.k,
+                engine=engine, backend="int",
+            )
+            for backend_name in ALTERNATES:
+                other = mine_topk(
+                    case.dataset, case.consequent, case.minsup, k=case.k,
+                    engine=engine, backend=backend_name,
+                )
+                label = (
+                    f"case {case.index} ({case.shape}), engine {engine}, "
+                    f"backend {backend_name}"
+                )
+                assert results_equal(baseline, other), label
+                assert _counters(other.stats) == _counters(baseline.stats), label
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_farmer_results_and_stats(self, engine):
+        key = lambda g: (
+            g.antecedent, g.consequent, g.row_set, g.support, g.confidence
+        )
+        for case in CASES:
+            baseline = mine_farmer(
+                case.dataset, case.consequent, case.minsup, minconf=0.5,
+                engine=engine, backend="int",
+            )
+            for backend_name in ALTERNATES:
+                other = mine_farmer(
+                    case.dataset, case.consequent, case.minsup, minconf=0.5,
+                    engine=engine, backend=backend_name,
+                )
+                label = (
+                    f"case {case.index} ({case.shape}), engine {engine}, "
+                    f"backend {backend_name}"
+                )
+                assert list(map(key, other.groups)) == list(
+                    map(key, baseline.groups)
+                ), label
+                assert _counters(other.stats) == _counters(baseline.stats), label
+
+    def test_environment_selection_end_to_end(self, monkeypatch):
+        """REPRO_BITSET_BACKEND steers an unannotated mine_topk call and
+        the result stays bit-identical to the default."""
+        case = CASES[0]
+        baseline = mine_topk(
+            case.dataset, case.consequent, case.minsup, k=case.k,
+        )
+        monkeypatch.setenv(ENV_VAR, "packed")
+        steered = mine_topk(
+            case.dataset, case.consequent, case.minsup, k=case.k,
+        )
+        assert results_equal(baseline, steered)
+        assert _counters(steered.stats) == _counters(baseline.stats)

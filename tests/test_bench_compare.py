@@ -73,13 +73,18 @@ class TestCompareReports:
         assert ok
         assert REGRESSION_FACTOR >= 1.9
 
-    def test_missing_baseline_entry_skipped(self):
+    def test_missing_baseline_entry_fails(self):
+        """A current workload with no baseline entry is a hole in the
+        gate, not a skip: it must fail and say how to fix it."""
         lines, ok = compare_reports(
             _report(_entry(name="new-workload")), _report(_entry(name="old"))
         )
-        assert ok
+        assert not ok
         assert "0 compared" in lines[0]
-        assert any("no baseline entry" in line for line in lines)
+        missing = [line for line in lines if "MISSING BASELINE" in line]
+        assert len(missing) == 1
+        assert "new-workload" in missing[0]
+        assert "repro.bench --include-quick" in missing[0]
 
     def test_changed_workload_skipped(self):
         """A k change makes the wall-clock diff meaningless — even a huge
@@ -98,3 +103,79 @@ class TestCompareReports:
         )
         assert ok
         assert any("baseline host differs" in line for line in lines)
+
+
+def _backends(**columns):
+    """Build a ``backends`` dict: name -> seconds."""
+    return {
+        name: {
+            "seconds": seconds,
+            "speedup": 1.0,
+            "identical_output": True,
+            "nodes_visited": 10,
+        }
+        for name, seconds in columns.items()
+    }
+
+
+class TestBackendColumns:
+    """Per-backend serial columns go through the same regression rule,
+    and a current column with no baseline counterpart fails the gate."""
+
+    def test_identical_backend_columns_ok(self):
+        entry = _entry(backends=_backends(int=1.0, packed=0.8))
+        lines, ok = compare_reports(_report(entry), _report(entry))
+        assert ok
+        assert any("w[packed]" in line for line in lines)
+
+    def test_backend_regression_fails(self):
+        lines, ok = compare_reports(
+            _report(_entry(backends=_backends(int=1.0, packed=2.5))),
+            _report(_entry(backends=_backends(int=1.0, packed=1.0))),
+        )
+        assert not ok
+        assert any(
+            "w[packed]" in line and "REGRESSION" in line for line in lines
+        )
+
+    def test_backend_ratio_alone_does_not_fail(self):
+        """The absolute-delta jitter floor applies per backend column."""
+        base = REGRESSION_MIN_DELTA_SECONDS / 10
+        _lines, ok = compare_reports(
+            _report(_entry(backends=_backends(packed=base * 3))),
+            _report(_entry(backends=_backends(packed=base))),
+        )
+        assert ok
+
+    def test_missing_baseline_backend_column_fails(self):
+        """A freshly registered backend has no committed numbers yet —
+        that must fail loudly, with the rebaseline command."""
+        lines, ok = compare_reports(
+            _report(_entry(backends=_backends(int=1.0, numpy=0.5))),
+            _report(_entry(backends=_backends(int=1.0))),
+        )
+        assert not ok
+        missing = [line for line in lines if "MISSING BASELINE" in line]
+        assert len(missing) == 1
+        assert "w[numpy]" in missing[0]
+        assert "repro.bench --include-quick" in missing[0]
+
+    def test_baseline_only_backend_is_a_note_not_a_failure(self):
+        """The reverse direction: a baseline measured with an optional
+        backend still gates a host where that backend is unavailable."""
+        lines, ok = compare_reports(
+            _report(_entry(backends=_backends(int=1.0))),
+            _report(_entry(backends=_backends(int=1.0, numpy=0.5))),
+        )
+        assert ok
+        assert any(
+            "w[numpy]" in line and "unavailable on this host" in line
+            for line in lines
+        )
+
+    def test_entries_without_backend_columns_still_compare(self):
+        """Old-schema baselines (pre-backend) must not crash the gate."""
+        _lines, ok = compare_reports(
+            _report(_entry()), _report(_entry())
+        )
+        assert ok

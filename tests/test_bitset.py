@@ -56,6 +56,33 @@ class TestBasics:
         assert B.mask_upto(2) == 0b111
 
 
+class TestNegativeIndices:
+    """Negative indices raise a clear ValueError instead of silently
+    producing an empty or nonsensical mask (``bit(-1)`` used to raise a
+    confusing shift error, ``mask_upto(-1)`` silently returned 0)."""
+
+    def test_bit_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative, got -1"):
+            B.bit(-1)
+
+    def test_from_indices_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative, got -3"):
+            B.from_indices([0, 5, -3])
+
+    def test_mask_below_rejects_negative(self):
+        with pytest.raises(ValueError, match="mask_below.*got -1"):
+            B.mask_below(-1)
+
+    def test_mask_upto_rejects_negative(self):
+        """mask_upto(-1) must not silently alias mask_below(0)."""
+        with pytest.raises(ValueError, match="mask_upto.*got -1"):
+            B.mask_upto(-1)
+
+    def test_empty_mask_spelling(self):
+        """The empty prefix mask is mask_below(0), and it still works."""
+        assert B.mask_below(0) == 0
+
+
 indices = st.sets(st.integers(min_value=0, max_value=200), max_size=40)
 
 

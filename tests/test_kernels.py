@@ -25,6 +25,7 @@ import pytest
 
 from repro.audit.generator import generate_cases
 from repro.baselines.farmer import FarmerPolicy
+from repro.core.backends import available_backends
 from repro.core.bitset import iter_indices, mask_below
 from repro.core.enumeration import ENGINES, MinerStats, run_enumeration
 from repro.core.prefix_tree import PrefixTree
@@ -365,6 +366,53 @@ class TestKernelsMatchReference:
 
         assert _counters(kernel_stats) == _counters(reference_stats)
         assert _snapshot(kernel_policy) == _snapshot(reference_policy)
+
+
+class TestKernelsAcrossBackends:
+    """Engines × §4.1.1 flags × bitset backends: every backend must
+    reproduce the ``int`` backend's groups *and* MinerStats exactly.
+
+    The comparison is per engine across backends — engines legitimately
+    differ from each other in counters (the tree engine only enumerates
+    rows present in the prefix tree, so it visits fewer nodes), but a
+    backend swap must be invisible: same nodes, same prunes, same
+    groups, counter for counter.
+    """
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize(
+        "flags", FLAG_COMBOS,
+        ids=["".join("ft"[v] for v in combo.values()) for combo in FLAG_COMBOS],
+    )
+    def test_topk_backend_identity(self, engine, flags):
+        alternates = [
+            name for name in available_backends() if name != "int"
+        ]
+        assert alternates, "packed backend must always be registered"
+        for case in CASES:
+            view = MiningView(
+                case.dataset, case.consequent, case.minsup, backend="int"
+            )
+            policy = TopkPolicy(view, case.k, **flags)
+            stats = run_enumeration(view, policy, engine=engine)
+            expected = (_counters(stats), _snapshot(policy))
+
+            for backend in alternates:
+                other_view = MiningView(
+                    case.dataset, case.consequent, case.minsup,
+                    backend=backend,
+                )
+                other_policy = TopkPolicy(other_view, case.k, **flags)
+                other_stats = run_enumeration(
+                    other_view, other_policy, engine=engine
+                )
+                label = (
+                    f"case {case.index} ({case.shape}), engine {engine}, "
+                    f"backend {backend}"
+                )
+                assert (
+                    _counters(other_stats), _snapshot(other_policy)
+                ) == expected, label
 
 
 class TestSupportIndex:

@@ -4,7 +4,36 @@ from __future__ import annotations
 
 import pytest
 
-from repro.service.telemetry import DEFAULT_BUCKETS, LatencyHistogram, Telemetry
+from repro.service.telemetry import (
+    BATCH_SIZE_BUCKETS,
+    DEFAULT_BUCKETS,
+    LatencyHistogram,
+    Telemetry,
+)
+
+
+class TestBatchSizeBuckets:
+    """The coalescing histogram's power-of-two ladder must have no holes
+    (the 512 edge was once silently skipped, folding 257-512-row batches
+    into the 1024 bucket and distorting the batching evidence)."""
+
+    def test_every_finite_edge_doubles_the_previous(self):
+        finite = [edge for edge in BATCH_SIZE_BUCKETS if edge != float("inf")]
+        assert finite[0] == 1
+        for previous, edge in zip(finite, finite[1:]):
+            assert edge == 2 * previous, (
+                f"bucket ladder skips an edge between {previous} and {edge}"
+            )
+
+    def test_ends_with_infinity(self):
+        assert BATCH_SIZE_BUCKETS[-1] == float("inf")
+
+    def test_512_batch_lands_in_its_own_bucket(self):
+        histogram = LatencyHistogram(buckets=BATCH_SIZE_BUCKETS)
+        histogram.observe(512)
+        histogram.observe(513)
+        assert histogram.as_dict()["buckets"]["512"] == 1
+        assert histogram.as_dict()["buckets"]["1024"] == 1
 
 
 class TestLatencyHistogram:
