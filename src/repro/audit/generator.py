@@ -9,12 +9,18 @@ that historically break miners and serving layers:
 * varying row/item counts, density and class skew;
 * duplicate rows (closure collisions, tie-heavy top-k lists);
 * degenerate datasets — empty rows, a single class, all-identical rows;
+* tall datasets (> 64 rows, so bitsets span multiple machine words and
+  every backend's multi-word paths run) built from a handful of
+  distinct row patterns, which keeps the brute-force oracle exact: the
+  oracle enumerates *distinct* patterns, and duplicates add rows
+  without adding itemsets;
 * minsup values from 1 up to the whole consequent class.
 
-Datasets stay at or below :data:`MAX_ROWS` rows so the brute-force
-oracle of :mod:`repro.baselines.naive_topk` remains feasible on every
-generated case.  Only the stdlib ``random`` module is used, so the
-stream is stable across numpy versions and platforms.
+Datasets stay at or below :data:`MAX_ROWS` rows (:data:`MAX_TALL_ROWS`
+for the ``tall`` shape, whose distinct-pattern count stays tiny) so the
+brute-force oracle of :mod:`repro.baselines.naive_topk` remains
+feasible on every generated case.  Only the stdlib ``random`` module is
+used, so the stream is stable across numpy versions and platforms.
 """
 
 from __future__ import annotations
@@ -24,14 +30,31 @@ from dataclasses import dataclass
 
 from ..data.dataset import DiscretizedDataset, Item
 
-__all__ = ["AuditCase", "MAX_ROWS", "SHAPES", "generate_case", "generate_cases"]
+__all__ = [
+    "AuditCase",
+    "MAX_ROWS",
+    "MAX_TALL_ROWS",
+    "SHAPES",
+    "generate_case",
+    "generate_cases",
+]
 
-# The naive oracle enumerates all 2^n row subsets; 12 rows keeps one
-# oracle run in the low milliseconds while still covering every shape.
+# The naive oracle enumerates all 2^n subsets of *distinct* row
+# patterns; 12 rows keeps one oracle run in the low milliseconds while
+# still covering every shape.
 MAX_ROWS = 12
+
+# Row range of the "tall" shape: above 64 rows so row bitsets span
+# multiple 64-bit words (the regime the vectorized backends exist for,
+# and where single-word shortcuts would hide bugs), but built from at
+# most 8 distinct patterns so the oracle stays exact.
+MIN_TALL_ROWS = 65
+MAX_TALL_ROWS = 96
 
 # Shape rotation: index i draws SHAPES[i % len(SHAPES)], so any case
 # count >= len(SHAPES) exercises every degenerate family at least once.
+# The backend rotation in repro.audit.oracle rides the same index, so
+# tall cases cycle through the non-default backends too.
 SHAPES = (
     "uniform",
     "skewed",
@@ -41,6 +64,7 @@ SHAPES = (
     "empty-rows",
     "single-class",
     "identical-rows",
+    "tall",
 )
 
 
@@ -122,8 +146,20 @@ def generate_case(seed: int, index: int) -> AuditCase:
         n_items = rng.randint(6, 12)
     elif shape == "single-class":
         n_classes = 1
+    elif shape == "tall":
+        n_rows = rng.randint(MIN_TALL_ROWS, MAX_TALL_ROWS)
 
-    rows = [_random_row(rng, n_items, density) for _ in range(n_rows)]
+    if shape == "tall":
+        # A handful of distinct patterns duplicated across many rows:
+        # the multi-word bitset paths run for real, while the oracle's
+        # distinct-pattern enumeration stays exact and fast.
+        base = [
+            _random_row(rng, n_items, density)
+            for _ in range(rng.randint(4, 8))
+        ]
+        rows = [base[rng.randrange(len(base))] for _ in range(n_rows)]
+    else:
+        rows = [_random_row(rng, n_items, density) for _ in range(n_rows)]
     if shape == "duplicates":
         # Overwrite roughly half the rows with copies of earlier rows.
         for _ in range(n_rows // 2):

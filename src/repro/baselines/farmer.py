@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional, Sequence
 
+from ..core.backends import resolve_backend
 from ..core.enumeration import MinerStats, run_enumeration
 from ..core.rules import RuleGroup
 from ..core.view import MiningView
@@ -43,6 +44,11 @@ class FarmerPolicy:
     original's final check); it is not anti-monotone, so it cannot prune
     the search.
     """
+
+    # The static thresholds never read the Lemma 3.2 row sets, so the
+    # engines skip assembling them (an O(n_rows) bitset op per candidate
+    # that tall cohorts would otherwise pay for nothing).
+    uses_threshold_bits = False
 
     def __init__(
         self,
@@ -210,7 +216,10 @@ def mine_farmer(
             n_jobs=n_jobs,
             backend=backend,
         )
-    view = MiningView.cached(dataset, consequent, minsup, backend=backend)
+    # Resolve here with the farmer task so backend="auto" keeps tall
+    # static-threshold runs on int (see plan_auto_backend).
+    resolved = resolve_backend(backend, n_rows=dataset.n_rows, task="farmer")
+    view = MiningView.cached(dataset, consequent, minsup, backend=resolved)
     policy = FarmerPolicy(
         view,
         minconf=minconf,

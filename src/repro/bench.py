@@ -19,6 +19,10 @@ Honesty rules baked in:
   that sharded mining reproduced the serial result exactly;
 * every workload is also timed with ``n_jobs="auto"`` so the adaptive
   planner's choice is itself measured, not assumed;
+* every workload is also timed with ``backend="auto"``, and the
+  ``chose_backend`` field records which backend the planner *actually*
+  resolved (counted at the resolver, not recomputed), so the committed
+  numbers cannot claim a backend the run never used;
 * :func:`compare_reports` (``repro bench --compare``) diffs a fresh run
   against a committed baseline and fails on serial-time regressions, so
   perf changes land with evidence.
@@ -35,9 +39,10 @@ from pathlib import Path
 from typing import Callable, Optional, Sequence
 
 from .baselines.farmer import FarmerResult, mine_farmer
-from .core.backends import available_backends
+from .core.backends import auto_backend_stats, available_backends
 from .core.topk_miner import TopkResult, mine_topk, relative_minsup
 from .data.loaders import load_benchmark
+from .data.synthetic import generate_tall_cohort
 from .experiments.harness import format_seconds
 from .parallel import (
     AUTO_JOBS,
@@ -64,7 +69,21 @@ QUICK_JOBS = (2,)
 
 @dataclass(frozen=True)
 class Workload:
-    """One named mining configuration to time."""
+    """One named mining configuration to time.
+
+    ``dataset`` is a paper benchmark name (``load_benchmark``) or a tall
+    cohort registry name (``tall-1k``/``tall-4k``/``tall-16k``, see
+    :data:`repro.data.TALL_COHORTS`).  ``scale`` pins the workload to a
+    fixed scale regardless of the CLI ``--scale`` so its committed
+    baseline entry stays comparable.  ``backends`` restricts the
+    per-backend serial columns (None = every available backend); tall
+    workloads exclude the pure-Python ``packed`` backend, which is
+    several times slower than ``int`` there and would dominate the
+    harness runtime without informing any decision.  ``measure_parallel``
+    turns off the worker-pool columns for workloads that exist to
+    compare *backends* (process pools on the tall cohorts would double
+    the runtime to measure an orthogonal axis).
+    """
 
     name: str
     dataset: str
@@ -73,11 +92,20 @@ class Workload:
     k: int = 1
     fraction: float = 0.9
     minconf: float = 0.0
+    scale: Optional[float] = None
+    backends: Optional[tuple[str, ...]] = None
+    measure_parallel: bool = True
 
 
 # The full profile mirrors the Figure 6 series: MineTopkRGS at small and
 # large k on the prefix tree, the bitset engine the classifiers use, and
-# the FARMER baseline on its faithful projected-table engine.
+# the FARMER baseline on its faithful projected-table engine.  The tall
+# workloads are the vectorized-backend showcase: at 512 rows the numpy
+# dynamic-threshold fold beats int top-k mining >2x (the committed
+# acceptance evidence for backend="auto"), while the tall FARMER point
+# documents that static-threshold mining stays fastest on int — which is
+# exactly what the auto planner chooses (the ``auto_backend`` column
+# records the choice).
 DEFAULT_WORKLOADS = (
     Workload("all-topk-tree-k1", "ALL", "topk", "tree", k=1),
     Workload("all-topk-tree-k100", "ALL", "topk", "tree", k=100),
@@ -85,15 +113,28 @@ DEFAULT_WORKLOADS = (
     Workload("all-farmer-table", "ALL", "farmer", "table"),
     Workload("pc-topk-tree-k1", "PC", "topk", "tree", k=1),
     Workload("pc-farmer-table", "PC", "farmer", "table"),
+    Workload("tall-512-topk-bitset-k2", "tall-1k", "topk", "bitset",
+             k=2, fraction=0.7, scale=0.5, backends=("int", "numpy"),
+             measure_parallel=False),
+    Workload("tall-256-farmer-bitset", "tall-1k", "farmer", "bitset",
+             fraction=0.6, scale=0.25, backends=("int", "numpy"),
+             measure_parallel=False),
 )
 
-# Two workloads: a fast bitset sanity point, and a k=100 tree mine that
+# Three workloads: a fast bitset sanity point, a k=100 tree mine that
 # runs long enough (~10ms serial) to carry a meaningful wall-clock
 # comparison — sub-millisecond mines drown in scheduler jitter, so the
-# regression gate needs at least one entry above the noise floor.
+# regression gate needs at least one entry above the noise floor — and a
+# 128-row tall point that keeps the tall generator + per-backend columns
+# exercised on every CI run (small enough for seconds-long smoke, so it
+# gates regressions; the >=1.5x numpy win is evidenced by the full
+# profile's 512-row entry).
 QUICK_WORKLOADS = (
     Workload("quick-topk-bitset-k5", "ALL", "topk", "bitset", k=5),
     Workload("quick-topk-tree-k100", "ALL", "topk", "tree", k=100),
+    Workload("quick-tall-topk-bitset-k2", "tall-1k", "topk", "bitset",
+             k=2, fraction=0.7, scale=0.125, backends=("int", "numpy"),
+             measure_parallel=False),
 )
 
 
@@ -130,6 +171,14 @@ class BenchReport:
                 parts.append(
                     f"{backend_name} {format_seconds(measured['seconds'])} "
                     f"(x{measured['speedup']:.2f}, {check})"
+                )
+            auto_backend = entry.get("auto_backend")
+            if auto_backend is not None:
+                check = "ok" if auto_backend["identical_output"] else "MISMATCH"
+                parts.append(
+                    f"auto-backend[{auto_backend['chose_backend']}] "
+                    f"{format_seconds(auto_backend['seconds'])} "
+                    f"(x{auto_backend['speedup']:.2f}, {check})"
                 )
             for jobs, measured in sorted(
                 entry["parallel"].items(), key=lambda kv: int(kv[0])
@@ -185,8 +234,12 @@ def _measure(
     jobs: Sequence[int],
     repeats: int,
 ) -> dict:
-    data = load_benchmark(workload.dataset, scale=scale)
-    train = data.train_items
+    if workload.scale is not None:
+        scale = workload.scale
+    if workload.dataset.startswith("tall-"):
+        train = generate_tall_cohort(workload.dataset, scale=scale)
+    else:
+        train = load_benchmark(workload.dataset, scale=scale).train_items
     minsup = relative_minsup(train, 1, workload.fraction)
     if workload.miner == "topk":
         serial_fn = lambda backend=None: mine_topk(
@@ -227,7 +280,15 @@ def _measure(
     # One serial column per available bitset backend (repro.core.backends):
     # the default serial_seconds above ran under the ambient resolution,
     # these pin each backend explicitly and assert bit-identical output.
-    for backend_name in available_backends():
+    backend_names = (
+        available_backends()
+        if workload.backends is None
+        else tuple(
+            name for name in workload.backends
+            if name in available_backends()
+        )
+    )
+    for backend_name in backend_names:
         seconds, result = _best_of(
             lambda: serial_fn(backend=backend_name), repeats
         )
@@ -237,6 +298,28 @@ def _measure(
             "identical_output": identical(serial_result, result),
             "nodes_visited": result.stats.nodes_visited,
         }
+    # The backend="auto" column reports what the planner actually chose
+    # (counted via auto_backend_stats, not recomputed), so the committed
+    # numbers cannot silently claim a backend the run never used.
+    choices_before = auto_backend_stats()
+    auto_backend_seconds, result = _best_of(
+        lambda: serial_fn(backend="auto"), repeats
+    )
+    choices = {
+        name: count - choices_before.get(name, 0)
+        for name, count in auto_backend_stats().items()
+    }
+    entry["auto_backend"] = {
+        "seconds": auto_backend_seconds,
+        "speedup": (
+            serial_seconds / auto_backend_seconds
+            if auto_backend_seconds > 0 else 0.0
+        ),
+        "identical_output": identical(serial_result, result),
+        "chose_backend": max(choices, key=lambda name: choices[name]),
+    }
+    if not workload.measure_parallel:
+        return entry
     for n_jobs in jobs:
         seconds, result = _best_of(lambda: parallel_fn(n_jobs), repeats)
         entry["parallel"][str(n_jobs)] = {
@@ -468,6 +551,39 @@ def compare_reports(
                     f"  {name}[{backend_name}]: baseline-only backend "
                     "(unavailable on this host) — skipped"
                 )
+        # The auto column is only comparable when both runs resolved to
+        # the same backend (a host without numpy legitimately picks int
+        # where the baseline picked numpy — different code, not a
+        # regression).
+        auto_backend = entry.get("auto_backend")
+        base_auto = base.get("auto_backend")
+        if auto_backend is not None and base_auto is not None:
+            if auto_backend["chose_backend"] != base_auto["chose_backend"]:
+                lines.append(
+                    f"  {name}[auto]: chose "
+                    f"{auto_backend['chose_backend']!r} vs baseline "
+                    f"{base_auto['chose_backend']!r} — skipped"
+                )
+            else:
+                base_seconds = base_auto["seconds"]
+                seconds = auto_backend["seconds"]
+                auto_speedup = (
+                    base_seconds / seconds if seconds > 0 else float("inf")
+                )
+                regressed = _is_regression(
+                    base_seconds, seconds, regression_factor
+                )
+                if regressed:
+                    ok = False
+                status = "REGRESSION" if regressed else (
+                    "faster" if auto_speedup >= 1.0 else "slower"
+                )
+                lines.append(
+                    f"  {name}[auto->{auto_backend['chose_backend']}]: "
+                    f"{format_seconds(base_seconds)} -> "
+                    f"{format_seconds(seconds)} (x{auto_speedup:.2f}, "
+                    f"{status})"
+                )
     header = (
         f"baseline comparison — {compared} compared, "
         f"{'ok' if ok else 'REGRESSED'} "
@@ -491,7 +607,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--compare", metavar="BASELINE",
                         help="diff against this committed report; exit "
                              "non-zero on a serial-time regression")
+    parser.add_argument("--only", metavar="SUBSTRING",
+                        help="run only workloads whose name contains this "
+                             "substring (applied to the active profile)")
     args = parser.parse_args(argv)
+    workloads: Optional[tuple[Workload, ...]] = None
+    if args.only:
+        pool = QUICK_WORKLOADS if args.quick else DEFAULT_WORKLOADS
+        workloads = tuple(w for w in pool if args.only in w.name)
+        if not workloads:
+            names = ", ".join(w.name for w in pool)
+            print(f"--only {args.only!r} matches no workload; "
+                  f"available: {names}")
+            return 2
     # Read the baseline before writing, in case --output points at it.
     baseline = None
     if args.compare:
@@ -499,6 +627,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     report = run_bench(
         scale=args.scale, jobs=tuple(args.jobs), repeats=args.repeats,
         quick=args.quick, include_quick=args.include_quick,
+        workloads=workloads,
     )
     write_report(report, args.output)
     for line in report.summary_lines():

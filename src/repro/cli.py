@@ -277,8 +277,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     import json
 
-    from .bench import compare_reports, run_bench, write_report
+    from .bench import (
+        DEFAULT_WORKLOADS,
+        QUICK_WORKLOADS,
+        compare_reports,
+        run_bench,
+        write_report,
+    )
 
+    workloads = None
+    if args.only:
+        pool = QUICK_WORKLOADS if args.quick else DEFAULT_WORKLOADS
+        workloads = tuple(w for w in pool if args.only in w.name)
+        if not workloads:
+            names = ", ".join(w.name for w in pool)
+            print(f"--only {args.only!r} matches no workload; "
+                  f"available: {names}", file=sys.stderr)
+            return 2
     # Read the baseline before writing, in case --output points at it.
     baseline = None
     if args.compare:
@@ -289,6 +304,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         repeats=args.repeats,
         quick=args.quick,
         include_quick=args.include_quick,
+        workloads=workloads,
     )
     write_report(report, args.output)
     for line in report.summary_lines():
@@ -389,11 +405,13 @@ def build_parser() -> argparse.ArgumentParser:
                       help="used when --minsup is not given")
     mine.add_argument("--engine", choices=("bitset", "table", "tree"),
                       default="bitset")
-    mine.add_argument("--backend", choices=("int", "packed", "numpy"),
+    mine.add_argument("--backend",
+                      choices=("int", "packed", "numpy", "auto"),
                       default=None,
                       help="bitset-operations backend (default: the "
                            "REPRO_BITSET_BACKEND environment variable, "
-                           "then 'int'; results are identical across "
+                           "then 'int'; 'auto' picks from the dataset's "
+                           "row count; results are identical across "
                            "backends)")
     mine.add_argument("--jobs", type=_jobs_arg, default=1,
                       help="worker processes for the mine (0 = all cores, "
@@ -483,6 +501,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--include-quick", action="store_true",
                        help="append the quick workloads to a full run so "
                             "the baseline covers CI's --quick profile")
+    bench.add_argument("--only", metavar="SUBSTRING",
+                       help="run only workloads whose name contains this "
+                            "substring (applied to the active profile)")
     bench.add_argument("--compare", metavar="BASELINE",
                        help="diff this run against a committed report; "
                             "exit non-zero if any serial time regressed "

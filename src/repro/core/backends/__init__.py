@@ -35,6 +35,19 @@ Selection precedence (see :func:`resolve_backend`):
 2. the ``REPRO_BITSET_BACKEND`` environment variable;
 3. the ``int`` default.
 
+The special name ``"auto"`` (:data:`AUTO_BACKEND`) defers the choice to
+:func:`plan_auto_backend`, which picks from the dataset's row count,
+the mining task and the backends available in this process: ``int``
+wins at paper scale (tens of rows, where batch-call overhead dominates)
+and the vectorized ``numpy`` backend wins tall *top-k* runs (its
+dynamic-threshold min-fold vectorizes; the measured crossover sits at
+:data:`AUTO_TALL_ROWS` rows — see ``BENCH_core.json``), while
+static-threshold FARMER runs stay on ``int`` at every size.  ``"auto"`` can
+only be resolved where a row count is known — dataset-aware entry
+points (``MiningView``, the miners, the parallel front ends, the
+service) pass ``n_rows`` through; :func:`auto_backend_stats` counts the
+choices made so bench output and ``/metrics`` can report them honestly.
+
 The batch contract every backend honours (and
 ``tests/test_backends.py`` enforces on audit-generator cases):
 
@@ -55,21 +68,38 @@ from __future__ import annotations
 import os
 from typing import Optional, Union
 
-from .base import BitsetBackend
+from .base import BitsetBackend, ThresholdStore
 from .int_backend import IntBackend
 from .packed_backend import PackedBackend
 
 __all__ = [
+    "AUTO_BACKEND",
+    "AUTO_TALL_ROWS",
     "BitsetBackend",
     "DEFAULT_BACKEND",
     "ENV_VAR",
+    "ThresholdStore",
+    "auto_backend_stats",
     "available_backends",
     "get_backend",
+    "plan_auto_backend",
     "resolve_backend",
 ]
 
 ENV_VAR = "REPRO_BITSET_BACKEND"
 DEFAULT_BACKEND = "int"
+
+# Sentinel name deferring backend selection to :func:`plan_auto_backend`.
+AUTO_BACKEND = "auto"
+
+# Row count at which the vectorized numpy backend overtakes the int
+# default for top-k mining.  Measured on the tall synthetic cohorts
+# (minsup 0.7, k=2, bitset engine, 1-core host): int wins at 128 rows
+# (0.87x), numpy wins from 256 rows up (1.4x at 256, 2.4x at 512, 4.6x
+# at 1024) — the win comes from the vectorized dynamic-threshold fold,
+# which grows with the consequent-class row count.  The crossover table
+# in README.md tracks the measurements this constant mirrors.
+AUTO_TALL_ROWS = 256
 
 # Name -> singleton instance.  Backends are stateless (the per-view
 # state lives in the encoded handles), so one shared instance per
@@ -103,32 +133,93 @@ def get_backend(name: str) -> BitsetBackend:
 
     Raises:
         ValueError: unknown name, or a known backend whose optional
-            dependency is missing in this environment.
+            dependency is missing in this environment.  Both errors list
+            the registry keys actually usable in this process, so a user
+            holding an available-but-unknown name (a typo, a backend from
+            a newer version) sees what they *can* ask for.
     """
     backend = _REGISTRY.get(name)
     if backend is None:
+        registered = ", ".join(available_backends())
         if name in KNOWN_BACKENDS:
             raise ValueError(
                 f"bitset backend {name!r} is not available in this "
-                f"environment (is its dependency installed?); available: "
-                f"{', '.join(available_backends())}"
+                f"environment (is its dependency installed?); registered "
+                f"backends: {registered}"
             )
         raise ValueError(
             f"unknown bitset backend {name!r}; expected one of "
-            f"{', '.join(KNOWN_BACKENDS)}"
+            f"{', '.join(KNOWN_BACKENDS)} (or {AUTO_BACKEND!r} at a "
+            f"dataset-aware entry point); registered backends: {registered}"
         )
     return backend
 
 
+# Choices made by the auto planner, by resolved backend name.  Plain
+# int increments under the GIL; sampled by ``repro bench`` (the
+# ``chose_backend`` honesty field) and the service's ``/metrics``.
+_AUTO_CHOICES: dict[str, int] = {name: 0 for name in KNOWN_BACKENDS}
+
+
+def plan_auto_backend(n_rows: int, task: str = "topk") -> str:
+    """Backend name for ``backend="auto"``: row count x task x availability.
+
+    The int default wins below :data:`AUTO_TALL_ROWS` rows, where batch
+    folds span one or two machine words and per-call overhead dominates.
+    At or above it the vectorized numpy backend wins — if it registered;
+    the pure-Python packed backend never beats int, so a numpy-free host
+    stays on the default rather than auto-selecting a slower backend.
+
+    ``task`` names what the backend will execute: ``"topk"`` (dynamic
+    top-k mining, the default) or ``"farmer"`` (static-threshold FARMER
+    baselines).  Only top-k runs get the vectorized backend — its tall
+    win comes from the dynamic-threshold min-fold, which static policies
+    never perform, and on pure closure/union folds the int backend wins
+    at every measured size (see DESIGN.md §12).
+    """
+    if (
+        task == "topk"
+        and n_rows >= AUTO_TALL_ROWS
+        and "numpy" in _REGISTRY
+    ):
+        return "numpy"
+    return DEFAULT_BACKEND
+
+
+def auto_backend_stats() -> dict[str, int]:
+    """Snapshot of how often ``backend="auto"`` picked each backend."""
+    return dict(_AUTO_CHOICES)
+
+
 def resolve_backend(
     backend: Optional[Union[str, BitsetBackend]] = None,
+    n_rows: Optional[int] = None,
+    task: str = "topk",
 ) -> BitsetBackend:
-    """Apply the selection precedence: argument > environment > default."""
+    """Apply the selection precedence: argument > environment > default.
+
+    ``backend="auto"`` (as an argument or via the environment variable)
+    resolves through :func:`plan_auto_backend` and therefore needs
+    ``n_rows``; dataset-aware callers (``MiningView``, the miners, the
+    parallel front ends) pass it through.  ``task`` qualifies the auto
+    plan (``"topk"``/``"farmer"``, see :func:`plan_auto_backend`); the
+    FARMER entry points pass ``"farmer"`` so tall static-threshold runs
+    stay on the int backend that wins them.
+    """
     if isinstance(backend, BitsetBackend):
         return backend
-    if backend is not None:
-        return get_backend(backend)
-    env = os.environ.get(ENV_VAR, "").strip()
-    if env:
-        return get_backend(env)
-    return _REGISTRY[DEFAULT_BACKEND]
+    name = backend
+    if name is None:
+        env = os.environ.get(ENV_VAR, "").strip()
+        name = env or DEFAULT_BACKEND
+    if name == AUTO_BACKEND:
+        if n_rows is None:
+            raise ValueError(
+                f"backend={AUTO_BACKEND!r} needs a row count to plan "
+                "from; resolve it at a dataset-aware entry point (or "
+                "pass n_rows)"
+            )
+        chosen = plan_auto_backend(n_rows, task=task)
+        _AUTO_CHOICES[chosen] += 1
+        return _REGISTRY[chosen]
+    return get_backend(name)

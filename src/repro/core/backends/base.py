@@ -17,11 +17,78 @@ every backend to enforce exactly that.
 
 from __future__ import annotations
 
+from collections import namedtuple
 from typing import Iterable, Iterator, Sequence
 
 from .. import bitset as _bitset
 
-__all__ = ["BitsetBackend"]
+__all__ = ["BitsetBackend", "NodeKernel", "ThresholdStore"]
+
+#: The per-walk bound kernel the enumeration engines drive: three
+#: callables closed over one support handle and one encoded mask, so a
+#: backend can cache buffers/tables/scratch arrays across the nodes of a
+#: single walk instead of re-materializing them per call.  One kernel is
+#: created per enumeration run (never shared between threads), which is
+#: what makes backend-private scratch state safe.
+NodeKernel = namedtuple(
+    "NodeKernel",
+    ["intersect_union_counts", "intersect_counts", "masked_counts"],
+)
+
+
+class ThresholdStore:
+    """Per-position (confidence, support) thresholds with a min-fold.
+
+    The top-k policy maintains one threshold pair per consequent-class
+    row (the k-th list entry of Equations 1-2) and, at every pruning
+    check, needs the lexicographic minimum of those pairs over the rows
+    of a ``threshold_bits`` bitset.  That fold is the dominant per-node
+    cost on tall datasets — O(set bits) Python-loop iterations, each
+    shaving the lowest bit off a multi-word int — so it is a backend
+    strategy point: :meth:`BitsetBackend.make_threshold_store` lets an
+    array backend keep the pairs in vectorized storage and fold them in
+    a handful of C calls.
+
+    The contract mirrors the rest of the package: ``update`` writes one
+    position's pair, ``fold`` returns exactly what the reference loop
+    below returns (a full lexicographic min; ``(0.0, 0)`` is the global
+    minimum, so early exit never changes the result), and every store is
+    bit-identical by construction.  Positions start at ``(0.0, 0)`` —
+    the threshold of an underfull top-k list.
+    """
+
+    __slots__ = ("confs", "sups")
+
+    def __init__(self, n_positive: int) -> None:
+        self.confs: list[float] = [0.0] * n_positive
+        self.sups: list[int] = [0] * n_positive
+
+    def update(self, position: int, conf: float, sup: int) -> None:
+        self.confs[position] = conf
+        self.sups[position] = sup
+
+    def fold(self, bits: int) -> tuple[float, int]:
+        """Lexicographic min of ``(conf, sup)`` over the set positions.
+
+        ``bits`` must be non-empty; the caller treats an empty row set
+        as unconditionally prunable before consulting thresholds.
+        """
+        min_conf = float("inf")
+        min_sup = 0
+        confs = self.confs
+        sups = self.sups
+        while bits:
+            low = bits & -bits
+            bits ^= low
+            position = low.bit_length() - 1
+            conf = confs[position]
+            sup = sups[position]
+            if conf < min_conf or (conf == min_conf and sup < min_sup):
+                min_conf = conf
+                min_sup = sup
+                if min_conf == 0.0 and min_sup == 0:
+                    break
+        return min_conf, min_sup
 
 
 class BitsetBackend:
@@ -106,6 +173,69 @@ class BitsetBackend:
 
     def popcount_many(self, bitsets: Sequence[int]) -> list[int]:
         raise NotImplementedError
+
+    # -- fused counting folds (the tall-dataset hot path) ------------------
+    #
+    # The enumeration kernels need, at every node, the closure/union fold
+    # *and* the positive/total popcounts of the closure.  Computing them
+    # as separate batch calls materializes intermediate bitsets
+    # (``closure & positive_mask``) and, for array-encoded backends,
+    # round-trips every derived mask through int<->array conversion.  The
+    # fused methods below fold the mask popcount into the reduce itself;
+    # the defaults compose the primitive batch methods, so a third-party
+    # backend that only implements the primitives stays correct (and
+    # bit-identical) automatically.
+
+    def encode_mask(self, bits: int, n_bits: int):
+        """Encode one long-lived mask (e.g. the positive-class mask of a
+        view) for the counting folds below.  The default representation
+        is the plain ``int`` itself; a backend overriding this must also
+        override every method that receives an encoded mask."""
+        return bits
+
+    def intersect_union_counts(
+        self, handle, ids: Sequence[int], mask
+    ) -> tuple[int, int, int, int]:
+        """``(inter, union, popcount(inter & mask), popcount(inter))``
+        with both folds and both counts in one pass."""
+        inter, union = self.intersect_union_many(handle, ids)
+        return inter, union, (inter & mask).bit_count(), inter.bit_count()
+
+    def intersect_counts(
+        self, handle, ids: Sequence[int], mask
+    ) -> tuple[int, int, int]:
+        """``(inter, popcount(inter & mask), popcount(inter))``."""
+        inter = self.intersect_many(handle, ids)
+        return inter, (inter & mask).bit_count(), inter.bit_count()
+
+    def masked_counts(self, bits: int, mask) -> tuple[int, int]:
+        """``(popcount(bits & mask), popcount(bits))`` for one fresh
+        bitset (the candidate set a node derives in int space)."""
+        return (bits & mask).bit_count(), bits.bit_count()
+
+    def make_threshold_store(self, n_positive: int) -> ThresholdStore:
+        """Create the dynamic-threshold store for a top-k run.
+
+        Array backends override this to keep the per-row threshold pairs
+        in vectorized storage so the per-node min-fold of Equations 1-2
+        runs in C instead of a Python bit-shaving loop.  Every store
+        returns exactly what :meth:`ThresholdStore.fold` returns.
+        """
+        return ThresholdStore(n_positive)
+
+    def node_kernel(self, handle, mask) -> NodeKernel:
+        """Bind the fused folds for one enumeration walk.
+
+        Subclasses override to close over pre-resolved state (unpacked
+        handles, popcount tables, preallocated scratch buffers) so the
+        per-node calls do no setup work.  Kernels are walk-private:
+        callers create one per run and never share it across threads.
+        """
+        return NodeKernel(
+            lambda ids: self.intersect_union_counts(handle, ids, mask),
+            lambda ids: self.intersect_counts(handle, ids, mask),
+            lambda bits: self.masked_counts(bits, mask),
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name!r}>"

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from .base import BitsetBackend
+from .base import BitsetBackend, NodeKernel
 
 __all__ = ["IntBackend"]
 
@@ -53,3 +53,63 @@ class IntBackend(BitsetBackend):
 
     def popcount_many(self, bitsets: Sequence[int]) -> list[int]:
         return [bits.bit_count() for bits in bitsets]
+
+    def intersect_union_counts(
+        self, handle, ids: Sequence[int], mask
+    ) -> tuple[int, int, int, int]:
+        if not ids:
+            raise ValueError("intersect_union_counts needs at least one id")
+        iterator = iter(ids)
+        intersection = union = handle[next(iterator)]
+        for index in iterator:
+            rows = handle[index]
+            intersection &= rows
+            union |= rows
+        return (
+            intersection, union,
+            (intersection & mask).bit_count(), intersection.bit_count(),
+        )
+
+    def intersect_counts(
+        self, handle, ids: Sequence[int], mask
+    ) -> tuple[int, int, int]:
+        if not ids:
+            raise ValueError("intersect_counts needs at least one id")
+        iterator = iter(ids)
+        intersection = handle[next(iterator)]
+        for index in iterator:
+            intersection &= handle[index]
+        return (
+            intersection,
+            (intersection & mask).bit_count(), intersection.bit_count(),
+        )
+
+    def node_kernel(self, handle, mask) -> NodeKernel:
+        # Closures over the tuple handle and the int mask: no per-call
+        # attribute lookups on the hot path.
+        def intersect_union_counts(ids):
+            iterator = iter(ids)
+            intersection = union = handle[next(iterator)]
+            for index in iterator:
+                rows = handle[index]
+                intersection &= rows
+                union |= rows
+            return (
+                intersection, union,
+                (intersection & mask).bit_count(), intersection.bit_count(),
+            )
+
+        def intersect_counts(ids):
+            iterator = iter(ids)
+            intersection = handle[next(iterator)]
+            for index in iterator:
+                intersection &= handle[index]
+            return (
+                intersection,
+                (intersection & mask).bit_count(), intersection.bit_count(),
+            )
+
+        def masked_counts(bits):
+            return (bits & mask).bit_count(), bits.bit_count()
+
+        return NodeKernel(intersect_union_counts, intersect_counts, masked_counts)

@@ -2,28 +2,45 @@
 
 Supports are packed little-endian into 64-bit words so the batch folds
 walk fixed-width machine words instead of arbitrary-precision limbs,
-and population counts go through a precomputed 16-bit lookup table (the
-classic table-driven popcount) over the packed bytes.  Pure stdlib.
+and population counts go through a lazily built 16-bit lookup table (the
+classic table-driven popcount) over the packed words.  Pure stdlib.
 
 Encoding is done once per support table (per ``SupportIndex``); fold
 results are converted back to plain ``int`` bitsets at the call
 boundary, which keeps the backend bit-identical to the default by
-construction.
+construction.  The fused counting folds accumulate the positive-mask
+popcounts in the same word walk as the intersect/union reduce, and the
+:meth:`PackedBackend.node_kernel` closures reuse one pair of accumulator
+arrays across every node of a walk instead of re-materializing them per
+call.
 """
 
 from __future__ import annotations
 
 from array import array
-from typing import Sequence
+from typing import Optional, Sequence
 
-from .base import BitsetBackend
+from .base import BitsetBackend, NodeKernel
 
-__all__ = ["PackedBackend"]
+__all__ = ["PackedBackend", "popcount_table"]
 
-# Population counts of every 16-bit word, built once at import.  The
-# table costs 64 KiB of small-int references and turns popcount into
-# four lookups per 64-bit word.
-_POPCOUNT16 = tuple(value.bit_count() for value in range(1 << 16))
+# Population counts of every 16-bit word.  Built lazily on first use and
+# shared by every PackedBackend instance in the process: the table costs
+# 64 Ki small-int references and a few milliseconds to fill, so neither
+# importing this module nor constructing a backend should pay for it
+# twice (tests/test_backends.py pins the sharing).
+_POPCOUNT16: Optional[tuple[int, ...]] = None
+
+
+def popcount_table() -> tuple[int, ...]:
+    """The process-wide 16-bit popcount table (built on first call)."""
+    global _POPCOUNT16
+    table = _POPCOUNT16
+    if table is None:
+        table = _POPCOUNT16 = tuple(
+            value.bit_count() for value in range(1 << 16)
+        )
+    return table
 
 
 def _pack(bits: int, n_words: int) -> array:
@@ -31,12 +48,34 @@ def _pack(bits: int, n_words: int) -> array:
     return array("Q", bits.to_bytes(n_words * 8, "little"))
 
 
+def _count_words(words: array, table: tuple[int, ...]) -> int:
+    total = 0
+    for word in words:
+        if word:
+            total += (
+                table[word & 0xFFFF]
+                + table[(word >> 16) & 0xFFFF]
+                + table[(word >> 32) & 0xFFFF]
+                + table[word >> 48]
+            )
+    return total
+
+
 class PackedBackend(BitsetBackend):
     name = "packed"
+
+    @property
+    def table(self) -> tuple[int, ...]:
+        """The shared popcount table (identical for every instance)."""
+        return popcount_table()
 
     def encode_supports(self, bitsets: Sequence[int], n_bits: int):
         n_words = max(1, (n_bits + 63) // 64)
         return [_pack(bits, n_words) for bits in bitsets], n_words
+
+    def encode_mask(self, bits: int, n_bits: int) -> array:
+        n_words = max(1, (n_bits + 63) // 64)
+        return _pack(bits, n_words)
 
     def intersect_many(self, handle, ids: Sequence[int]) -> int:
         if not ids:
@@ -79,13 +118,161 @@ class PackedBackend(BitsetBackend):
     def popcount(self, bits: int) -> int:
         if bits < 0:
             raise ValueError(f"bitsets are non-negative, got {bits}")
-        table = _POPCOUNT16
+        table = popcount_table()
+        if bits < 0x10000:
+            return table[bits]
+        # One to_bytes + a flat 16-bit chunk walk: linear in the word
+        # count, unlike repeated ``bits >>= 16`` which copies the whole
+        # remaining integer per step (quadratic on tall bitsets).
+        n_chunks = (bits.bit_length() + 15) // 16
+        chunks = memoryview(bits.to_bytes(n_chunks * 2, "little")).cast("H")
         total = 0
-        while bits:
-            total += table[bits & 0xFFFF]
-            bits >>= 16
+        for chunk in chunks:
+            total += table[chunk]
         return total
 
     def popcount_many(self, bitsets: Sequence[int]) -> list[int]:
         popcount = self.popcount
         return [popcount(bits) for bits in bitsets]
+
+    def intersect_union_counts(
+        self, handle, ids: Sequence[int], mask: array
+    ) -> tuple[int, int, int, int]:
+        if not ids:
+            raise ValueError("intersect_union_counts needs at least one id")
+        words, n_words = handle
+        first = words[ids[0]]
+        intersection = array("Q", first)
+        union = array("Q", first)
+        for index in ids[1:]:
+            row = words[index]
+            for position in range(n_words):
+                word = row[position]
+                intersection[position] &= word
+                union[position] |= word
+        table = popcount_table()
+        x_p = 0
+        x_all = 0
+        for position in range(n_words):
+            word = intersection[position]
+            if word:
+                x_all += (
+                    table[word & 0xFFFF]
+                    + table[(word >> 16) & 0xFFFF]
+                    + table[(word >> 32) & 0xFFFF]
+                    + table[word >> 48]
+                )
+                word &= mask[position]
+                if word:
+                    x_p += (
+                        table[word & 0xFFFF]
+                        + table[(word >> 16) & 0xFFFF]
+                        + table[(word >> 32) & 0xFFFF]
+                        + table[word >> 48]
+                    )
+        return (
+            int.from_bytes(intersection.tobytes(), "little"),
+            int.from_bytes(union.tobytes(), "little"),
+            x_p, x_all,
+        )
+
+    def intersect_counts(
+        self, handle, ids: Sequence[int], mask: array
+    ) -> tuple[int, int, int]:
+        if not ids:
+            raise ValueError("intersect_counts needs at least one id")
+        words, n_words = handle
+        intersection = array("Q", words[ids[0]])
+        for index in ids[1:]:
+            row = words[index]
+            for position in range(n_words):
+                intersection[position] &= row[position]
+        table = popcount_table()
+        x_all = _count_words(intersection, table)
+        masked = array("Q", intersection)
+        for position in range(n_words):
+            masked[position] &= mask[position]
+        x_p = _count_words(masked, table)
+        return int.from_bytes(intersection.tobytes(), "little"), x_p, x_all
+
+    def masked_counts(self, bits: int, mask: array) -> tuple[int, int]:
+        mask_bits = int.from_bytes(mask.tobytes(), "little")
+        return self.popcount(bits & mask_bits), self.popcount(bits)
+
+    def node_kernel(self, handle, mask: array) -> NodeKernel:
+        words, n_words = handle
+        table = popcount_table()
+        positions = range(n_words)
+        # Walk-private accumulators, reused across every node of the
+        # walk; safe because kernels are never shared between threads.
+        intersection = array("Q", bytes(n_words * 8))
+        union = array("Q", bytes(n_words * 8))
+        mask_bits = int.from_bytes(mask.tobytes(), "little")
+        from_bytes = int.from_bytes
+        self_popcount = self.popcount
+
+        def intersect_union_counts(ids):
+            intersection[:] = words[ids[0]]
+            union[:] = intersection
+            for index in ids[1:]:
+                row = words[index]
+                for position in positions:
+                    word = row[position]
+                    intersection[position] &= word
+                    union[position] |= word
+            x_p = 0
+            x_all = 0
+            for position in positions:
+                word = intersection[position]
+                if word:
+                    x_all += (
+                        table[word & 0xFFFF]
+                        + table[(word >> 16) & 0xFFFF]
+                        + table[(word >> 32) & 0xFFFF]
+                        + table[word >> 48]
+                    )
+                    word &= mask[position]
+                    if word:
+                        x_p += (
+                            table[word & 0xFFFF]
+                            + table[(word >> 16) & 0xFFFF]
+                            + table[(word >> 32) & 0xFFFF]
+                            + table[word >> 48]
+                        )
+            return (
+                from_bytes(intersection.tobytes(), "little"),
+                from_bytes(union.tobytes(), "little"),
+                x_p, x_all,
+            )
+
+        def intersect_counts(ids):
+            intersection[:] = words[ids[0]]
+            for index in ids[1:]:
+                row = words[index]
+                for position in positions:
+                    intersection[position] &= row[position]
+            x_p = 0
+            x_all = 0
+            for position in positions:
+                word = intersection[position]
+                if word:
+                    x_all += (
+                        table[word & 0xFFFF]
+                        + table[(word >> 16) & 0xFFFF]
+                        + table[(word >> 32) & 0xFFFF]
+                        + table[word >> 48]
+                    )
+                    word &= mask[position]
+                    if word:
+                        x_p += (
+                            table[word & 0xFFFF]
+                            + table[(word >> 16) & 0xFFFF]
+                            + table[(word >> 32) & 0xFFFF]
+                            + table[word >> 48]
+                        )
+            return from_bytes(intersection.tobytes(), "little"), x_p, x_all
+
+        def masked_counts(bits):
+            return self_popcount(bits & mask_bits), self_popcount(bits)
+
+        return NodeKernel(intersect_union_counts, intersect_counts, masked_counts)

@@ -75,8 +75,14 @@ class SearchPolicy(Protocol):
     ``threshold_bits`` passed to the pruning hooks is the position bitset
     of consequent-class rows whose top-k lists the subtree could still
     improve (``X_p ∪ R_p`` of Lemma 3.2); static-threshold policies may
-    ignore it.
+    ignore it.  A policy that never reads it can declare
+    ``uses_threshold_bits = False`` (default ``True``) and the engines
+    pass ``0`` instead of assembling the row sets — an O(n_rows) bitset
+    op per candidate that matters on tall datasets.  Pruning decisions,
+    node order and :class:`MinerStats` are unaffected.
     """
+
+    uses_threshold_bits: bool = True
 
     @property
     def minsup(self) -> int:
@@ -260,6 +266,8 @@ def _walk_bitset(
 ) -> None:
     support = view.support_index()
     item_rows = support.item_rows
+    item_counts = support.item_counts
+    item_pos_counts = support.item_pos_counts
     row_items = view.row_items
     positive_mask = view.positive_mask
     # Hot-path bindings: these are resolved once instead of per node.
@@ -269,13 +277,18 @@ def _walk_bitset(
     tight_prunable = policy.tight_prunable
     emit = policy.emit
     bitset_root = support.bitset_root
-    # One backend call per node: the closure/union fold over the node's
-    # surviving items and the four support counts each go through the
-    # view's backend in a single batch call.
-    backend = support.backend
-    support_handle = support._handle
-    fold_many = backend.intersect_union_many
-    popcount_many = backend.popcount_many
+    # One fused backend call per node: the closure/union fold over the
+    # node's surviving items *and* the positive/total closure counts come
+    # out of a single walk-private kernel call (the positive mask stays
+    # in the backend's native encoding for the whole walk), plus one
+    # masked-count call for the derived candidate set.
+    kernel = support.node_kernel()
+    fold_counts = kernel.intersect_union_counts
+    masked_counts = kernel.masked_counts
+    # Static-threshold policies (FARMER) never read the threshold row
+    # sets, and assembling them is an O(n_rows/64) bitset op per
+    # candidate — on tall cohorts that is real money for nothing.
+    needs_thresholds = getattr(policy, "uses_threshold_bits", True)
 
     all_rows = mask_below(view.n_rows)
     root_rem_p = bit_count(all_rows & positive_mask)
@@ -307,7 +320,10 @@ def _walk_bitset(
                 if allowed is not None and not allowed & r_bit:
                     continue
                 charge_node()
-                threshold_bits = (x_bits | r_bit | todo) & positive_mask
+                if needs_thresholds:
+                    threshold_bits = (x_bits | r_bit | todo) & positive_mask
+                else:
+                    threshold_bits = 0
                 if loose_prunable(seed_p, seed_n, rem_p, rem_n, threshold_bits):
                     loose += 1
                     continue
@@ -317,9 +333,12 @@ def _walk_bitset(
                     if not new_items:
                         continue
                     if len(new_items) == 1:
-                        closure = union = item_rows[new_items[0]]
+                        item = new_items[0]
+                        closure = union = item_rows[item]
+                        new_x_p = item_pos_counts[item]
+                        x_all = item_counts[item]
                     else:
-                        closure, union = fold_many(support_handle, new_items)
+                        closure, union, new_x_p, x_all = fold_counts(new_items)
                     # Backward pruning (step 7): a row before r outside X
                     # containing I(X ∪ {r}) means this group was found in
                     # an earlier subtree.
@@ -327,13 +346,16 @@ def _walk_bitset(
                         backward += 1
                         continue
                     new_cand = todo & union & ~closure
-                    new_x_p, x_all, m_p, cand_all = popcount_many((
-                        closure & positive_mask, closure,
-                        new_cand & positive_mask, new_cand,
-                    ))
+                    if new_cand:
+                        m_p, cand_all = masked_counts(new_cand)
+                    else:
+                        m_p = cand_all = 0
                     new_x_n = x_all - new_x_p
                     new_r_n = cand_all - m_p
-                    new_threshold = (closure | new_cand) & positive_mask
+                    if needs_thresholds:
+                        new_threshold = (closure | new_cand) & positive_mask
+                    else:
+                        new_threshold = 0
                 else:
                     # Root frame: every value below is a pure function of
                     # the view, memoized on the SupportIndex.
@@ -396,6 +418,7 @@ def _walk_table(
     # down unchanged; the scan position is implied by r.  Rebuilt per run
     # on purpose: this engine exists to preserve FARMER's per-node cost
     # profile, so it takes no SupportIndex memo.
+    needs_thresholds = getattr(policy, "uses_threshold_bits", True)
     root_tuples = [
         (item, sorted(iter_indices(view.item_rows[item])))
         for item in view.frequent_items
@@ -440,7 +463,12 @@ def _walk_table(
                 if allowed is not None and not allowed & r_bit:
                     continue
                 charge_node()
-                threshold_bits = ((x_bits | r_bit) & positive_mask) | rest_pos_bits
+                if needs_thresholds:
+                    threshold_bits = (
+                        ((x_bits | r_bit) & positive_mask) | rest_pos_bits
+                    )
+                else:
+                    threshold_bits = 0
                 if loose_prunable(seed_p, seed_n, rest_p, rest_n, threshold_bits):
                     loose += 1
                     continue
@@ -487,7 +515,10 @@ def _walk_table(
                         m_p += 1
                         new_cand_pos_bits |= 1 << row
                 new_r_n = len(new_cand) - m_p
-                new_threshold = (closure & positive_mask) | new_cand_pos_bits
+                if needs_thresholds:
+                    new_threshold = (closure & positive_mask) | new_cand_pos_bits
+                else:
+                    new_threshold = 0
                 if tight_prunable(new_x_p, new_x_n, m_p, new_r_n, new_threshold):
                     tight += 1
                     continue
@@ -529,18 +560,19 @@ def _walk_tree(
     positive_mask = view.positive_mask
     n_positive = view.n_positive
     item_rows = support.item_rows
+    item_counts = support.item_counts
+    item_pos_counts = support.item_pos_counts
     charge_node = budget.charge_node
     loose_prunable = policy.loose_prunable
     tight_prunable = policy.tight_prunable
     emit = policy.emit
     tree_root = support.tree_root
-    # One backend call per node for the closure fold and the two support
-    # counts (the candidate counters come from the projected tree's row
-    # scan, which stays a list walk).
-    backend = support.backend
-    support_handle = support._handle
-    intersect_many = backend.intersect_many
-    popcount_many = backend.popcount_many
+    # One fused backend call per node for the closure fold and the two
+    # support counts (the candidate counters come from the projected
+    # tree's row scan, which stays a list walk).
+    kernel = support.node_kernel()
+    intersect_counts = kernel.intersect_counts
+    needs_thresholds = getattr(policy, "uses_threshold_bits", True)
 
     # The root tree and its per-row projections are pure functions of the
     # view; both come from the SupportIndex (kernels only read projected
@@ -588,7 +620,12 @@ def _walk_tree(
                 if allowed is not None and not allowed & r_bit:
                     continue
                 charge_node()
-                threshold_bits = ((x_bits | r_bit) & positive_mask) | rest_pos_bits
+                if needs_thresholds:
+                    threshold_bits = (
+                        ((x_bits | r_bit) & positive_mask) | rest_pos_bits
+                    )
+                else:
+                    threshold_bits = 0
                 if loose_prunable(seed_p, seed_n, rest_p, rest_n, threshold_bits):
                     loose += 1
                     continue
@@ -602,9 +639,12 @@ def _walk_tree(
                     # (Section 3's projected transposed table), so earlier
                     # rows must be probed against the original supports.
                     if len(new_items) == 1:
-                        closure = item_rows[new_items[0]]
+                        item = new_items[0]
+                        closure = item_rows[item]
+                        new_x_p = item_pos_counts[item]
+                        x_all = item_counts[item]
                     else:
-                        closure = intersect_many(support_handle, new_items)
+                        closure, new_x_p, x_all = intersect_counts(new_items)
                     if closure & (r_bit - 1) & ~x_bits:
                         backward += 1
                         continue
@@ -612,9 +652,6 @@ def _walk_tree(
                         row for row in projected.row_freq()
                         if not closure >> row & 1
                     ]
-                    new_x_p, x_all = popcount_many(
-                        (closure & positive_mask, closure)
-                    )
                     new_x_n = x_all - new_x_p
                     m_p = 0
                     new_cand_pos_bits = 0
@@ -623,7 +660,12 @@ def _walk_tree(
                             m_p += 1
                             new_cand_pos_bits |= 1 << row
                     new_r_n = len(new_cand_rows) - m_p
-                    new_threshold = (closure & positive_mask) | new_cand_pos_bits
+                    if needs_thresholds:
+                        new_threshold = (
+                            (closure & positive_mask) | new_cand_pos_bits
+                        )
+                    else:
+                        new_threshold = 0
                     child_cand = new_cand_rows
                 else:
                     # Root frame: first-level data memoized on the view.

@@ -80,6 +80,10 @@ class TopkPolicy:
         self.dynamic_minsup = dynamic_minsup
         self._minsup = view.minsup
         self.lists: list[TopKList] = [TopKList(k) for _ in range(view.n_positive)]
+        # The per-row (kth_conf, kth_sup) pairs mirrored into the
+        # backend's threshold store, whose min-fold answers Equations
+        # 1-2 at every pruning check (vectorized on array backends).
+        self._store = view.backend.make_threshold_store(view.n_positive)
         if initialize_single_items:
             self._initialize_from_single_items()
 
@@ -130,11 +134,15 @@ class TopkPolicy:
         )
         changed = False
         lists = self.lists
+        store = self._store
         bits = position_bits & self.view.positive_mask
         while bits:
             low = bits & -bits
             bits ^= low
-            if lists[low.bit_length() - 1].offer(group):
+            position = low.bit_length() - 1
+            topk = lists[position]
+            if topk.offer(group):
+                store.update(position, topk.kth_conf, topk.kth_sup)
                 changed = True
         if changed and self.dynamic_minsup:
             self._maybe_raise_minsup()
@@ -144,26 +152,12 @@ class TopkPolicy:
     def _thresholds(self, threshold_bits: int) -> tuple[float, int]:
         """Equations 1-2: the weakest k-th entry among the given rows.
 
-        Reads the ``kth_conf``/``kth_sup`` attributes the lists maintain
-        on every change instead of calling ``kth_threshold`` per row —
-        this runs once per pruning check, for every node.
+        Delegates to the backend threshold store, which mirrors the
+        ``kth_conf``/``kth_sup`` pair of every per-row list (synced on
+        each accepted offer).  This runs once per pruning check, for
+        every node; array backends fold it in C (DESIGN.md §12).
         """
-        min_conf = math.inf
-        min_sup = 0
-        lists = self.lists
-        bits = threshold_bits
-        while bits:
-            low = bits & -bits
-            bits ^= low
-            topk = lists[low.bit_length() - 1]
-            conf = topk.kth_conf
-            sup = topk.kth_sup
-            if conf < min_conf or (conf == min_conf and sup < min_sup):
-                min_conf = conf
-                min_sup = sup
-                if min_conf == 0.0 and min_sup == 0:
-                    break
-        return min_conf, min_sup
+        return self._store.fold(threshold_bits)
 
     def _initialize_from_single_items(self) -> None:
         """Seed the per-row lists from single-item rule statistics.
@@ -174,6 +168,7 @@ class TopkPolicy:
         place when the closed group is emitted during the walk).
         """
         view = self.view
+        store = self._store
         for row_bits, items in view.single_item_groups().items():
             support = view.positive_count(row_bits)
             if support < self._minsup:
@@ -187,7 +182,9 @@ class TopkPolicy:
                 confidence=support / total,
             )
             for position in iter_indices(row_bits & view.positive_mask):
-                self.lists[position].offer(group)
+                topk = self.lists[position]
+                if topk.offer(group):
+                    store.update(position, topk.kth_conf, topk.kth_sup)
         if self.dynamic_minsup:
             self._maybe_raise_minsup()
 

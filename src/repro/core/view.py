@@ -75,7 +75,7 @@ class MiningView:
         resolved backend name is part of the key because the support
         index binds backend-encoded support tables.
         """
-        resolved = resolve_backend(backend)
+        resolved = resolve_backend(backend, n_rows=dataset.n_rows)
         with _VIEW_CACHE_LOCK:
             per_dataset = _VIEW_CACHE.get(dataset)
             if per_dataset is None:
@@ -105,7 +105,11 @@ class MiningView:
         self.dataset = dataset
         self.consequent = consequent
         self.minsup = minsup
-        self.backend: BitsetBackend = resolve_backend(backend)
+        # "auto" resolves here because the row count is known: int at
+        # paper scale, the vectorized backend on tall cohorts.
+        self.backend: BitsetBackend = resolve_backend(
+            backend, n_rows=dataset.n_rows
+        )
 
         # Step 1: frequent items.  A rule group's support counts only
         # consequent-class rows, so items appearing in fewer than minsup
@@ -261,7 +265,19 @@ class SupportIndex:
             interned.setdefault(rows, rows) for rows in view.item_rows
         ]
         self._handle = self.backend.encode_supports(self.item_rows, view.n_rows)
+        # The positive-class mask in the backend's native representation:
+        # encoded once per index, consumed by every fused counting fold —
+        # array backends never re-pack it per node.
+        self.mask_handle = self.backend.encode_mask(
+            view.positive_mask, view.n_rows
+        )
         self.item_counts: list[int] = self.backend.popcount_many(self.item_rows)
+        # Per-item positive supports, so the single-item fast path of the
+        # kernels reads both counts instead of re-counting the closure.
+        positive_mask = view.positive_mask
+        self.item_pos_counts: list[int] = self.backend.popcount_many(
+            [rows & positive_mask for rows in self.item_rows]
+        )
         self.support_mass: int = sum(
             self.item_counts[item] for item in view.frequent_items
         )
@@ -283,6 +299,16 @@ class SupportIndex:
     def popcount_many(self, bitsets: Sequence[int]) -> list[int]:
         """Population counts of freshly derived masks, batched."""
         return self.backend.popcount_many(bitsets)
+
+    def node_kernel(self):
+        """Fused per-walk kernel over the encoded supports and mask.
+
+        Returns a fresh :class:`~repro.core.backends.base.NodeKernel`
+        bound to this index's handle and positive-mask encoding.  One
+        kernel per enumeration run: backends cache walk-private scratch
+        buffers inside it, so kernels must not be shared across threads.
+        """
+        return self.backend.node_kernel(self._handle, self.mask_handle)
 
     def pair_rows(self, first: int, second: int) -> int:
         """Memoized ``R({first}) ∩ R({second})`` for two item ids."""
@@ -311,18 +337,26 @@ class SupportIndex:
         if not new_items:
             return self.EMPTY
         if len(new_items) == 1:
-            closure = union = self.item_rows[new_items[0]]
+            item = new_items[0]
+            closure = union = self.item_rows[item]
+            x_pos = self.item_pos_counts[item]
+            x_all = self.item_counts[item]
         else:
-            closure, union = self.intersect_union_many(new_items)
+            closure, union, x_pos, x_all = self.backend.intersect_union_counts(
+                self._handle, new_items, self.mask_handle
+            )
         r_bit = 1 << r
         if closure & (r_bit - 1):
             return self.BACKWARD
         positive_mask = view.positive_mask
         above = mask_below(view.n_rows) & ~(r_bit | (r_bit - 1))
         new_cand = above & union & ~closure
-        x_pos, x_all, cand_pos, cand_all = self.popcount_many(
-            (closure & positive_mask, closure, new_cand & positive_mask, new_cand)
-        )
+        if new_cand:
+            cand_pos, cand_all = self.backend.masked_counts(
+                new_cand, self.mask_handle
+            )
+        else:
+            cand_pos = cand_all = 0
         new_x_p = x_pos
         new_x_n = x_all - x_pos
         m_p = cand_pos
@@ -366,7 +400,9 @@ class SupportIndex:
         if projected.n_items == 0:
             return self.EMPTY
         new_items = projected.all_items()
-        closure = self.intersect_many(new_items)
+        closure, x_pos, x_all = self.backend.intersect_counts(
+            self._handle, new_items, self.mask_handle
+        )
         r_bit = 1 << r
         if closure & (r_bit - 1):
             return self.BACKWARD
@@ -375,7 +411,6 @@ class SupportIndex:
         new_cand_rows = [
             row for row in projected.row_frequencies() if not closure >> row & 1
         ]
-        x_pos, x_all = self.popcount_many((closure & positive_mask, closure))
         new_x_p = x_pos
         new_x_n = x_all - x_pos
         m_p = 0

@@ -17,9 +17,13 @@ from .synthetic import (
     OVARIAN_CANCER,
     PAPER_DATASETS,
     PROSTATE_CANCER,
+    TALL_COHORTS,
     DatasetSpec,
+    TallCohortSpec,
     generate_dataset,
     generate_paper_dataset,
+    generate_tall_cohort,
+    iter_tall_chunks,
     make_figure1_example,
     random_discretized_dataset,
 )
@@ -37,9 +41,13 @@ __all__ = [
     "OVARIAN_CANCER",
     "PAPER_DATASETS",
     "PROSTATE_CANCER",
+    "TALL_COHORTS",
+    "TallCohortSpec",
     "entropy",
     "generate_dataset",
     "generate_paper_dataset",
+    "generate_tall_cohort",
+    "iter_tall_chunks",
     "load_benchmark",
     "load_discretized",
     "load_expression",

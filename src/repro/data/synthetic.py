@@ -19,6 +19,22 @@ and the structural properties the algorithms are sensitive to:
   on it in the paper while rule committees survive; the shift reproduces
   that regime.
 
+Alongside the paper-shaped "few rows, many columns" datasets, this
+module also generates *tall cohorts* (:class:`TallCohortSpec`,
+:func:`generate_tall_cohort`): thousands of rows over a modest item
+catalog, the regime of consortium-scale sample collections rather than
+single microarray studies.  Tall cohorts exist to exercise the
+row-dimension scaling of the miners — their row bitsets span hundreds of
+64-bit words, which is where the vectorized bitset backends
+(:mod:`repro.core.backends`) earn their keep — and are registered as
+first-class ``repro bench`` workloads.  Construction is chunked
+(:func:`iter_tall_chunks`): each chunk of rows is drawn from its own
+``(seed, chunk_index)``-keyed RNG stream, so generation is one
+vectorized draw per chunk (generation never bottlenecks the benchmark),
+chunks can be streamed without materializing the matrix, and a cohort's
+prefix is stable — growing ``n_rows`` appends rows without reshuffling
+the ones already drawn.
+
 Every generator is deterministic given its seed.
 """
 
@@ -36,8 +52,12 @@ __all__ = [
     "OVARIAN_CANCER",
     "PROSTATE_CANCER",
     "PAPER_DATASETS",
+    "TALL_COHORTS",
+    "TallCohortSpec",
     "generate_dataset",
     "generate_paper_dataset",
+    "generate_tall_cohort",
+    "iter_tall_chunks",
     "make_figure1_example",
     "random_discretized_dataset",
 ]
@@ -423,6 +443,166 @@ def make_figure1_example() -> DiscretizedDataset:
     labels = [1, 1, 1, 0, 0]
     return DiscretizedDataset(
         rows, labels, items, class_names=["not_C", "C"], name="figure1"
+    )
+
+
+@dataclass(frozen=True)
+class TallCohortSpec:
+    """Shape of one tall (many-rows) discretized cohort.
+
+    The inverse regime of the paper's datasets: thousands of samples
+    over a modest item catalog, as produced by pooling many studies into
+    one cohort.  Structure is kept simple and fully parameterized — a
+    band of *signal* items enriched in the positive class over a bed of
+    class-independent noise items — so the mining workload is shaped by
+    a handful of dials rather than a discretization pipeline:
+
+    Attributes:
+        name: registry/bench name (e.g. ``tall-4k``).
+        n_rows: total samples.
+        n_items: total items in the catalog.
+        n_signal: leading items whose presence rate depends on the class.
+        signal_rate_pos: P(signal item present | positive row).
+        signal_rate_neg: P(signal item present | negative row).
+        noise_rate: P(noise item present), class-independent.
+        positive_fraction: P(row is labelled positive).
+        chunk_rows: rows drawn per RNG chunk.  Part of the cohort's
+            identity, not a tuning knob: each chunk is drawn from a
+            ``(seed, chunk_index)``-keyed stream, so changing it
+            re-deals every row.
+        seed: base RNG seed.
+    """
+
+    name: str
+    n_rows: int
+    n_items: int = 32
+    n_signal: int = 12
+    signal_rate_pos: float = 0.88
+    signal_rate_neg: float = 0.25
+    noise_rate: float = 0.4
+    positive_fraction: float = 0.55
+    chunk_rows: int = 1024
+    seed: int = 71
+
+    def scaled(self, scale: float) -> "TallCohortSpec":
+        """Return a spec with the row count scaled by ``scale``.
+
+        The item catalog is preserved — rows are the dimension tall
+        cohorts exist to stress.  The scaled count is floored at 96 rows
+        so the bitsets always span multiple 64-bit words (the regime the
+        vectorized backends are for).
+        """
+        if not 0 < scale <= 1:
+            raise ValueError("scale must be in (0, 1]")
+        if scale == 1.0:
+            return self
+        return TallCohortSpec(
+            name=self.name,
+            n_rows=max(96, int(round(self.n_rows * scale))),
+            n_items=self.n_items,
+            n_signal=self.n_signal,
+            signal_rate_pos=self.signal_rate_pos,
+            signal_rate_neg=self.signal_rate_neg,
+            noise_rate=self.noise_rate,
+            positive_fraction=self.positive_fraction,
+            chunk_rows=self.chunk_rows,
+            seed=self.seed,
+        )
+
+
+# The committed bench tiers.  All share seed/chunk/item parameters, so
+# each is a prefix of the next — the bench sweep measures pure row-count
+# scaling, not a re-deal of the data.
+TALL_COHORTS: dict[str, TallCohortSpec] = {
+    spec.name: spec
+    for spec in (
+        TallCohortSpec(name="tall-1k", n_rows=1024),
+        TallCohortSpec(name="tall-4k", n_rows=4096),
+        TallCohortSpec(name="tall-16k", n_rows=16384),
+    )
+}
+
+
+def iter_tall_chunks(spec: TallCohortSpec):
+    """Yield ``(rows, labels)`` chunks of at most ``spec.chunk_rows`` rows.
+
+    Rows are frozensets of item ids, labels are ints.  Each chunk is one
+    vectorized draw from ``np.random.default_rng((seed, chunk_index))``,
+    independent of every other chunk — stream the chunks, or concatenate
+    them for the full cohort.  Every row is non-empty (a row that draws
+    no items keeps its first noise item).
+    """
+    if spec.n_rows < 1:
+        raise ValueError(f"tall cohort needs n_rows >= 1, got {spec.n_rows}")
+    if not 0 < spec.n_signal <= spec.n_items:
+        raise ValueError(
+            f"n_signal must be in 1..n_items, got {spec.n_signal} of "
+            f"{spec.n_items}"
+        )
+    emitted = 0
+    chunk_index = 0
+    while emitted < spec.n_rows:
+        size = min(spec.chunk_rows, spec.n_rows - emitted)
+        rng = np.random.default_rng((spec.seed, chunk_index))
+        # One full-width draw per chunk regardless of a short tail, so
+        # the tail chunk of a small cohort equals the head of the same
+        # chunk in a taller one (prefix stability).
+        labels = (
+            rng.random(spec.chunk_rows) < spec.positive_fraction
+        ).astype(int)
+        draws = rng.random((spec.chunk_rows, spec.n_items))
+        thresholds = np.full((spec.chunk_rows, spec.n_items), spec.noise_rate)
+        thresholds[:, : spec.n_signal] = np.where(
+            labels[:, None] == 1, spec.signal_rate_pos, spec.signal_rate_neg
+        )
+        present = draws < thresholds
+        empty = ~present.any(axis=1)
+        present[empty, spec.n_signal % spec.n_items] = True
+        rows = [
+            frozenset(int(item) for item in np.flatnonzero(present[i]))
+            for i in range(size)
+        ]
+        yield rows, [int(label) for label in labels[:size]]
+        emitted += size
+        chunk_index += 1
+
+
+def generate_tall_cohort(
+    spec: TallCohortSpec | str, scale: float = 1.0
+) -> DiscretizedDataset:
+    """Materialize a tall cohort as a :class:`DiscretizedDataset`.
+
+    Args:
+        spec: a :class:`TallCohortSpec` or a registry name from
+            :data:`TALL_COHORTS` (``tall-1k``/``tall-4k``/``tall-16k``).
+        scale: row-count scale factor in (0, 1], as in
+            :meth:`TallCohortSpec.scaled`.
+    """
+    if isinstance(spec, str):
+        try:
+            spec = TALL_COHORTS[spec]
+        except KeyError:
+            known = ", ".join(sorted(TALL_COHORTS))
+            raise KeyError(
+                f"unknown tall cohort {spec!r}; expected one of: {known}"
+            )
+    if scale != 1.0:
+        spec = spec.scaled(scale)
+    rows: list[frozenset[int]] = []
+    labels: list[int] = []
+    for chunk_rows, chunk_labels in iter_tall_chunks(spec):
+        rows.extend(chunk_rows)
+        labels.extend(chunk_labels)
+    # Guarantee both classes exist even in pathological tiny scalings.
+    for class_id in (0, 1):
+        if class_id not in labels:
+            labels[class_id % len(labels)] = class_id
+    items = [
+        Item(index, index, f"t{index:03d}", float("-inf"), float("inf"))
+        for index in range(spec.n_items)
+    ]
+    return DiscretizedDataset(
+        rows, labels, items, class_names=["control", "case"], name=spec.name
     )
 
 

@@ -1177,7 +1177,7 @@ def mine_topk_parallel(
         dynamic_minsup=dynamic_minsup,
         use_topk_pruning=use_topk_pruning,
         node_budget=node_budget,
-        backend=resolve_backend(backend).name,
+        backend=resolve_backend(backend, n_rows=dataset.n_rows).name,
     )
     return mine_topk_sharded(
         dataset, [request], n_jobs=n_jobs, time_budget=time_budget,
@@ -1208,7 +1208,9 @@ def mine_farmer_parallel(
     merged list is truncated to the serial stopping point.
     ``n_jobs="auto"`` plans from :func:`estimate_farmer_work`.
     """
-    backend_name = resolve_backend(backend).name
+    backend_name = resolve_backend(
+        backend, n_rows=dataset.n_rows, task="farmer"
+    ).name
     if n_jobs == AUTO_JOBS:
         view = MiningView.cached(dataset, consequent, minsup,
                                  backend=backend_name)

@@ -42,7 +42,11 @@ from typing import Optional
 
 import numpy as np
 
-from ..core.backends import available_backends
+from ..core.backends import (
+    AUTO_BACKEND,
+    auto_backend_stats,
+    available_backends,
+)
 from ..core.bitset import iter_indices
 from ..core.enumeration import ENGINES
 from ..core.topk_miner import TopkResult, mine_topk, relative_minsup
@@ -224,6 +228,13 @@ class RuleService:
         # pool_restarts_on_failure and serial_degradations ride along —
         # the operator's first sign that workers are being killed).
         self.telemetry.set_gauges(pool_stats())
+        # How often backend="auto" resolved to each backend since process
+        # start — the /metrics face of the planner's honesty contract
+        # (bench output carries the same counts as ``chose_backend``).
+        self.telemetry.set_gauges({
+            f"auto_backend_{name}": count
+            for name, count in auto_backend_stats().items()
+        })
         extra = {
             "cache": self.cache.stats(),
             "jobs": self.jobs.describe(),
@@ -406,10 +417,10 @@ class RuleService:
         backend = body.get("backend")
         if backend is not None:
             available = available_backends()
-            if backend not in available:
+            if backend != AUTO_BACKEND and backend not in available:
                 raise ServiceError(
                     400, f"unknown backend {backend!r}; expected one of "
-                         f"{tuple(available)}"
+                         f"{(AUTO_BACKEND,) + tuple(available)}"
                 )
         minsup = body.get("minsup")
         if minsup is None:

@@ -21,7 +21,7 @@ from repro.audit import (
     generate_cases,
     run_audit,
 )
-from repro.audit.generator import MAX_ROWS, SHAPES
+from repro.audit.generator import MAX_ROWS, MAX_TALL_ROWS, SHAPES
 from repro.core.topk_miner import mine_topk
 from repro.service.cache import dataset_fingerprint
 
@@ -54,7 +54,13 @@ class TestGeneratorDeterminism:
     def test_cases_are_well_formed(self):
         for case in generate_cases(seed=0, n_cases=len(SHAPES) * 2):
             assert isinstance(case, AuditCase)
-            assert 1 <= case.dataset.n_rows <= MAX_ROWS
+            limit = MAX_TALL_ROWS if case.shape == "tall" else MAX_ROWS
+            assert 1 <= case.dataset.n_rows <= limit
+            if case.shape == "tall":
+                # The point of the shape: multi-word bitsets, bounded
+                # distinct patterns for the exact oracle.
+                assert case.dataset.n_rows > 64
+                assert len(set(case.dataset.rows)) <= 8
             assert case.shape in SHAPES
             assert 0 <= case.consequent < case.dataset.n_classes
             assert case.minsup >= 1

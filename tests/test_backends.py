@@ -20,13 +20,18 @@ from repro.audit.generator import generate_cases
 from repro.baselines.farmer import mine_farmer
 from repro.core import bitset as B
 from repro.core.backends import (
+    AUTO_TALL_ROWS,
     DEFAULT_BACKEND,
     ENV_VAR,
     BitsetBackend,
+    ThresholdStore,
+    auto_backend_stats,
     available_backends,
     get_backend,
+    plan_auto_backend,
     resolve_backend,
 )
+from repro.core.backends.packed_backend import PackedBackend, popcount_table
 from repro.core.enumeration import ENGINES
 from repro.core.topk_miner import mine_topk
 from repro.core.view import MiningView
@@ -76,6 +81,113 @@ class TestRegistry:
         with pytest.raises(ValueError, match="not available"):
             get_backend("numpy")
 
+    def test_error_messages_list_registered_backends(self):
+        """Both rejection branches name what *can* be asked for."""
+        registered = ", ".join(BACKENDS)
+        with pytest.raises(ValueError) as unknown:
+            get_backend("simd512")
+        assert f"registered backends: {registered}" in str(unknown.value)
+        if "numpy" not in BACKENDS:
+            with pytest.raises(ValueError) as unavailable:
+                get_backend("numpy")
+            assert f"registered backends: {registered}" in str(
+                unavailable.value
+            )
+
+    def test_packed_popcount_table_is_a_shared_singleton(self):
+        """The 64Ki-entry table is built once per process, not per
+        instance — two fresh backends and the registry singleton all
+        hold the same object."""
+        assert PackedBackend().table is PackedBackend().table
+        assert get_backend("packed").table is popcount_table()
+
+
+class TestAutoBackend:
+    def test_paper_scale_stays_on_int(self):
+        for n_rows in (4, 38, 102, AUTO_TALL_ROWS - 1):
+            assert plan_auto_backend(n_rows) == "int"
+
+    def test_tall_topk_picks_vectorized_when_available(self):
+        chosen = plan_auto_backend(AUTO_TALL_ROWS)
+        if "numpy" in BACKENDS:
+            assert chosen == "numpy"
+        else:
+            # packed never beats int, so a numpy-free host keeps the
+            # default rather than auto-selecting a slower backend.
+            assert chosen == "int"
+        assert plan_auto_backend(16384) == chosen
+
+    def test_farmer_task_stays_on_int_at_every_size(self):
+        for n_rows in (38, AUTO_TALL_ROWS, 16384):
+            assert plan_auto_backend(n_rows, task="farmer") == "int"
+
+    def test_resolve_auto_needs_a_row_count(self):
+        with pytest.raises(ValueError, match="row count"):
+            resolve_backend("auto")
+
+    def test_resolve_auto_follows_the_plan_and_counts_choices(self):
+        before = auto_backend_stats()
+        resolved = resolve_backend("auto", n_rows=AUTO_TALL_ROWS)
+        assert resolved.name == plan_auto_backend(AUTO_TALL_ROWS)
+        after = auto_backend_stats()
+        assert after[resolved.name] == before[resolved.name] + 1
+
+    def test_auto_via_environment_variable(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "auto")
+        assert resolve_backend(n_rows=38).name == "int"
+        with pytest.raises(ValueError, match="row count"):
+            resolve_backend()
+
+
+# ---------------------------------------------------------------------------
+# Threshold stores: every backend's min-fold == the reference loop
+# ---------------------------------------------------------------------------
+
+
+def _reference_fold(confs, sups, bits):
+    best = (float("inf"), 0)
+    while bits:
+        low = bits & -bits
+        bits ^= low
+        position = low.bit_length() - 1
+        pair = (confs[position], sups[position])
+        if pair < best:
+            best = pair
+    return best
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+class TestThresholdStore:
+    def test_fold_matches_reference(self, backend_name):
+        import random
+
+        rng = random.Random(2024)
+        n_positive = 213  # multiple words plus a ragged tail
+        store = get_backend(backend_name).make_threshold_store(n_positive)
+        assert isinstance(store, ThresholdStore)
+        confs = [0.0] * n_positive
+        sups = [0] * n_positive
+        for _ in range(400):
+            position = rng.randrange(n_positive)
+            conf = rng.choice((0.0, 0.25, 0.5, rng.random(), 1.0))
+            sup = rng.randrange(0, 40)
+            store.update(position, conf, sup)
+            confs[position] = conf
+            sups[position] = sup
+            bits = B.from_indices(
+                rng.sample(range(n_positive), rng.randint(1, n_positive))
+            )
+            assert store.fold(bits) == _reference_fold(confs, sups, bits)
+
+    def test_initial_pairs_are_underfull_thresholds(self, backend_name):
+        store = get_backend(backend_name).make_threshold_store(70)
+        assert store.fold(B.from_indices([0, 64, 69])) == (0.0, 0)
+
+    def test_single_position_fold(self, backend_name):
+        store = get_backend(backend_name).make_threshold_store(130)
+        store.update(129, 0.75, 9)
+        assert store.fold(B.bit(129)) == (0.75, 9)
+
 
 class TestResolvePrecedence:
     def test_default_when_nothing_set(self, monkeypatch):
@@ -104,7 +216,10 @@ class TestResolvePrecedence:
         with pytest.raises(ValueError, match="unknown bitset backend"):
             resolve_backend()
 
-    def test_view_cache_keyed_by_backend(self):
+    def test_view_cache_keyed_by_backend(self, monkeypatch):
+        # Pin the default to int so the identity assertion holds under
+        # every REPRO_BITSET_BACKEND matrix value, not just the unset one.
+        monkeypatch.delenv(ENV_VAR, raising=False)
         case = CASES[0]
         default = MiningView.cached(case.dataset, case.consequent, case.minsup)
         again = MiningView.cached(

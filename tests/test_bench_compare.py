@@ -179,3 +179,52 @@ class TestBackendColumns:
             _report(_entry()), _report(_entry())
         )
         assert ok
+
+
+def _auto(seconds=1.0, chose="numpy"):
+    return {
+        "seconds": seconds,
+        "speedup": 1.0,
+        "identical_output": True,
+        "chose_backend": chose,
+    }
+
+
+class TestAutoBackendColumn:
+    def test_same_choice_gates_regressions(self):
+        lines, ok = compare_reports(
+            _report(_entry(auto_backend=_auto(seconds=2.5))),
+            _report(_entry(auto_backend=_auto(seconds=1.0))),
+        )
+        assert not ok
+        assert any(
+            "w[auto->numpy]" in line and "REGRESSION" in line
+            for line in lines
+        )
+
+    def test_same_choice_within_threshold_is_ok(self):
+        _lines, ok = compare_reports(
+            _report(_entry(auto_backend=_auto(seconds=1.2))),
+            _report(_entry(auto_backend=_auto(seconds=1.0))),
+        )
+        assert ok
+
+    def test_different_choice_is_skipped_not_failed(self):
+        """A numpy-free host legitimately resolves auto to int where the
+        baseline picked numpy — different code, not a regression."""
+        lines, ok = compare_reports(
+            _report(_entry(auto_backend=_auto(seconds=9.0, chose="int"))),
+            _report(_entry(auto_backend=_auto(seconds=1.0, chose="numpy"))),
+        )
+        assert ok
+        assert any(
+            "w[auto]" in line and "skipped" in line for line in lines
+        )
+
+    def test_missing_auto_column_is_tolerated(self):
+        """Old-schema baselines without the auto column must not crash
+        or fail the gate."""
+        _lines, ok = compare_reports(
+            _report(_entry(auto_backend=_auto())), _report(_entry())
+        )
+        assert ok
