@@ -17,6 +17,9 @@ repo rich in free oracles.  For one generated case this module:
   identical to the default backend's;
 * re-mines with ``n_jobs > 1`` and asserts the sharded parallel merge
   is bit-identical to the serial run;
+* on rotated cases, re-mines with ``strategy="hybrid"`` (the
+  column-partitioned out-of-core miner) and asserts the result — and
+  the ``completed`` honesty flag — are bit-identical to the direct run;
 * on rotated cases, re-mines through the *warm* miner pool and with
   ``n_jobs="auto"`` and asserts the adaptive planner and pool reuse
   change nothing;
@@ -265,6 +268,34 @@ def audit_case(
             f"invariants:{name}",
             lambda r=result: check_topk_result(dataset, r),
         )
+
+    # -- hybrid strategy: bit-identical to direct --------------------------
+    if case.index % 4 == 2:
+        # Rotated like the backend check: the column-partitioned hybrid
+        # miner (strategy="hybrid") must reproduce the direct result bit
+        # for bit — per-row lists AND the completed honesty flag — on the
+        # same rotated engine.
+        engine = ENGINES[case.index % len(ENGINES)]
+        serial = engine_results.get(engine)
+        hybrid = auditor.mine(
+            f"hybrid:{engine}", engine=engine, strategy="hybrid"
+        )
+        if hybrid is not None and serial is not None:
+            auditor.expect(
+                f"hybrid-equal:{engine}",
+                results_equal(serial, hybrid),
+                f"strategy='hybrid' result differs bit-for-bit from "
+                f"direct ({engine} engine)",
+            )
+            auditor.expect(
+                f"hybrid-completed:{engine}",
+                hybrid.stats.completed == serial.stats.completed,
+                "strategy='hybrid' completed flag differs from direct",
+            )
+            auditor.run(
+                f"invariants:hybrid:{engine}",
+                lambda r=hybrid: check_topk_result(dataset, r),
+            )
 
     # -- serial vs sharded parallel: bit-identical -------------------------
     if parallel_jobs > 1:

@@ -40,6 +40,7 @@ from typing import Callable, Optional, Sequence
 
 from .baselines.farmer import FarmerResult, mine_farmer
 from .core.backends import auto_backend_stats, available_backends
+from .core.hybrid import mine_topk_hybrid
 from .core.topk_miner import TopkResult, mine_topk, relative_minsup
 from .data.loaders import load_benchmark
 from .data.synthetic import generate_tall_cohort
@@ -87,7 +88,7 @@ class Workload:
 
     name: str
     dataset: str
-    miner: str  # "topk" or "farmer"
+    miner: str  # "topk", "hybrid" or "farmer"
     engine: str
     k: int = 1
     fraction: float = 0.9
@@ -119,6 +120,15 @@ DEFAULT_WORKLOADS = (
     Workload("tall-256-farmer-bitset", "tall-1k", "farmer", "bitset",
              fraction=0.6, scale=0.25, backends=("int", "numpy"),
              measure_parallel=False),
+    # The out-of-core tall path: column-partitioned hybrid mining on the
+    # same 512-row tall point as the direct showcase above.  Its
+    # ``direct`` column records the wall-clock ratio against the single
+    # global enumeration and asserts hybrid == direct bit for bit on
+    # every run of the harness; the ``hybrid`` block records the
+    # bounded-memory evidence (peak resident cells vs matrix size).
+    Workload("tall-hybrid-512-bitset-k2", "tall-1k", "hybrid", "bitset",
+             k=2, fraction=0.7, scale=0.5, backends=("int", "numpy"),
+             measure_parallel=False),
 )
 
 # Three workloads: a fast bitset sanity point, a k=100 tree mine that
@@ -133,6 +143,9 @@ QUICK_WORKLOADS = (
     Workload("quick-topk-bitset-k5", "ALL", "topk", "bitset", k=5),
     Workload("quick-topk-tree-k100", "ALL", "topk", "tree", k=100),
     Workload("quick-tall-topk-bitset-k2", "tall-1k", "topk", "bitset",
+             k=2, fraction=0.7, scale=0.125, backends=("int", "numpy"),
+             measure_parallel=False),
+    Workload("quick-tall-hybrid-bitset-k2", "tall-1k", "hybrid", "bitset",
              k=2, fraction=0.7, scale=0.125, backends=("int", "numpy"),
              measure_parallel=False),
 )
@@ -166,6 +179,13 @@ class BenchReport:
                 f"{entry['name']}: serial "
                 f"{format_seconds(entry['serial_seconds'])}"
             ]
+            direct = entry.get("direct")
+            if direct is not None:
+                check = "ok" if direct["identical_output"] else "MISMATCH"
+                parts.append(
+                    f"direct {format_seconds(direct['seconds'])} "
+                    f"(x{direct['speedup']:.2f}, {check})"
+                )
             for backend_name, measured in entry.get("backends", {}).items():
                 check = "ok" if measured["identical_output"] else "MISMATCH"
                 parts.append(
@@ -250,6 +270,15 @@ def _measure(
             train, 1, minsup, k=workload.k, engine=workload.engine, n_jobs=n
         )
         identical = results_equal
+    elif workload.miner == "hybrid":
+        serial_fn = lambda backend=None: mine_topk_hybrid(
+            train, 1, minsup, k=workload.k, engine=workload.engine,
+            backend=backend,
+        )
+        parallel_fn = lambda n: mine_topk_hybrid(
+            train, 1, minsup, k=workload.k, engine=workload.engine, n_jobs=n
+        )
+        identical = results_equal
     else:
         serial_fn = lambda backend=None: mine_farmer(
             train, 1, minsup, minconf=workload.minconf,
@@ -277,6 +306,30 @@ def _measure(
         "backends": {},
         "parallel": {},
     }
+    if workload.miner == "hybrid":
+        # Reference column: the direct miner on the identical inputs.
+        # identical_output is the hybrid == direct claim, asserted on
+        # every harness run; speedup is direct_seconds/serial_seconds
+        # (> 1 means hybrid beat the single global enumeration).
+        direct_seconds, direct_result = _best_of(
+            lambda: mine_topk(
+                train, 1, minsup, k=workload.k, engine=workload.engine
+            ),
+            repeats,
+        )
+        entry["direct"] = {
+            "seconds": direct_seconds,
+            "speedup": (
+                direct_seconds / serial_seconds if serial_seconds > 0 else 0.0
+            ),
+            "identical_output": results_equal(serial_result, direct_result),
+        }
+        hybrid_stats = serial_result.hybrid_stats
+        entry["hybrid"] = {
+            "n_partitions": hybrid_stats.n_partitions,
+            "total_cells": hybrid_stats.total_cells,
+            "peak_resident_cells": hybrid_stats.peak_resident_cells,
+        }
     # One serial column per available bitset backend (repro.core.backends):
     # the default serial_seconds above ran under the ambient resolution,
     # these pin each backend explicitly and assert bit-identical output.

@@ -131,18 +131,40 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             print("--fault requires --jobs != 1 (serial mining has no "
                   "workers to fault)", file=sys.stderr)
             return 2
-        from .parallel import FaultPlan, mine_topk_parallel
+        from .parallel import FaultPlan
 
-        result = mine_topk_parallel(
-            dataset, args.consequent, minsup, k=args.k, engine=args.engine,
-            n_jobs=args.jobs, fault=FaultPlan.parse(args.fault),
-            backend=args.backend,
-        )
+        plan = FaultPlan.parse(args.fault)
+        if args.strategy != "direct":
+            from .core.hybrid import mine_topk_hybrid
+
+            result = mine_topk_hybrid(
+                dataset, args.consequent, minsup, k=args.k,
+                engine=args.engine, n_jobs=args.jobs, fault=plan,
+                backend=args.backend, spill_dir=args.spill_dir,
+            )
+        else:
+            from .parallel import mine_topk_parallel
+
+            result = mine_topk_parallel(
+                dataset, args.consequent, minsup, k=args.k,
+                engine=args.engine, n_jobs=args.jobs, fault=plan,
+                backend=args.backend,
+            )
     else:
         result = mine_topk(
             dataset, args.consequent, minsup, k=args.k, engine=args.engine,
-            n_jobs=args.jobs, backend=args.backend,
+            n_jobs=args.jobs, backend=args.backend, strategy=args.strategy,
+            spill_dir=args.spill_dir,
         )
+    hybrid_stats = getattr(result, "hybrid_stats", None)
+    if hybrid_stats is not None:
+        print(f"hybrid: {hybrid_stats.n_partitions} partitions "
+              f"({hybrid_stats.n_skipped_partitions} skipped, "
+              f"{hybrid_stats.spilled_partitions} spilled), "
+              f"backend={hybrid_stats.backend}, "
+              f"peak {hybrid_stats.peak_resident_cells} partition cells "
+              f"resident (matrix {hybrid_stats.total_cells} cells)",
+              file=sys.stderr)
     if result.stats.degraded:
         print("note: worker loss degraded this mine to serial execution "
               "(result is still exact)", file=sys.stderr)
@@ -417,6 +439,19 @@ def build_parser() -> argparse.ArgumentParser:
                       help="worker processes for the mine (0 = all cores, "
                            "'auto' = let the planner decide; output is "
                            "identical to serial)")
+    mine.add_argument("--strategy", choices=("direct", "hybrid", "auto"),
+                      default="direct",
+                      help="direct enumerates the whole dataset in one "
+                           "walk; hybrid partitions column-first for tall "
+                           "datasets (bit-identical output); auto picks "
+                           "by row count")
+    mine.add_argument("--hybrid", dest="strategy", action="store_const",
+                      const="hybrid",
+                      help="shorthand for --strategy hybrid")
+    mine.add_argument("--spill-dir", default=None,
+                      help="hybrid only: existing directory for partition "
+                           "spill files (a unique per-run subdirectory is "
+                           "created and removed on exit)")
     mine.add_argument("--fault", metavar="PLAN", default=None,
                       help="inject worker faults for recovery testing, "
                            "e.g. 'kill@0.0' (mode@shard.attempt[:seconds]; "

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Callable, Iterable, Optional
 
 from .bitset import popcount, to_indices
 
@@ -161,15 +161,22 @@ class TopKList:
     initialization optimization of Section 4.1.1) is never duplicated and
     can be upgraded in place once its closed upper bound is found.
 
+    Confidence/support ties are broken *canonically by content*: the full
+    sort key is ``(-confidence, -support, canonical row set)``, where the
+    canonical row set is ``canonical_key(group)`` when provided (the
+    miner passes a position-to-row translator so ties compare in original
+    row space) and ``group.row_set`` otherwise.  The key is a total order
+    over distinct groups, so the surviving members of a boundary tie
+    class depend only on the offered population — never on arrival
+    order.  That is what lets the serial, sharded-parallel, and hybrid
+    partitioned miners all converge to bit-identical lists.
+
     ``offer`` is the hottest policy operation of the whole miner (every
     emitted group is offered to every consequent-class row it covers), so
     the list keeps two derived structures alongside ``groups``:
 
-    * ``_keys`` — the negated significance keys in ascending order, so an
-      insertion position comes from one :func:`bisect.bisect_right` call.
-      Inserting *after* equal keys reproduces exactly what the previous
-      append-then-stable-sort implementation did, so the tie order (and
-      therefore every downstream result) is bit-identical.
+    * ``_keys`` — the full sort keys in ascending order, so an insertion
+      position comes from one :func:`bisect.bisect_right` call.
     * ``_members`` — ``(row_set, consequent) -> RuleGroup`` for O(1)
       duplicate detection.
 
@@ -181,15 +188,21 @@ class TopKList:
 
     k: int
     groups: list[RuleGroup] = field(default_factory=list)
+    canonical_key: Optional[Callable[[RuleGroup], int]] = None
 
     def __post_init__(self) -> None:
-        self._keys: list[tuple[float, int]] = [
-            (-group.confidence, -group.support) for group in self.groups
+        self._keys: list[tuple[float, int, int]] = [
+            self._key(group) for group in self.groups
         ]
         self._members: dict[tuple[int, int], RuleGroup] = {
             (group.row_set, group.consequent): group for group in self.groups
         }
         self._refresh_kth()
+
+    def _key(self, group: RuleGroup) -> tuple[float, int, int]:
+        canon = self.canonical_key
+        rows = group.row_set if canon is None else canon(group)
+        return (-group.confidence, -group.support, rows)
 
     def _refresh_kth(self) -> None:
         if len(self.groups) < self.k:
@@ -209,10 +222,17 @@ class TopKList:
         return (self.kth_conf, self.kth_sup)
 
     def would_accept(self, confidence: float, support: int) -> bool:
-        """Return True iff a group with these stats would enter the list."""
+        """Return True iff a group with these stats *could* enter the list.
+
+        Non-strict at exact ``(kth_conf, kth_sup)`` equality: a boundary
+        tie member may still displace the current k-th entry under the
+        canonical content tie-break, so pruning on this predicate must
+        not discard it.  :meth:`offer` settles exact ties with the full
+        key.
+        """
         if confidence != self.kth_conf:
             return confidence > self.kth_conf
-        return support > self.kth_sup
+        return support >= self.kth_sup
 
     def offer(self, group: RuleGroup) -> bool:
         """Offer a group to the list; return True if the list changed.
@@ -225,12 +245,10 @@ class TopKList:
         existing = self._members.get(identity)
         if existing is not None:
             if len(group.antecedent) > len(existing.antecedent):
-                # Same row set means same significance key, so the upgrade
+                # Same row set means same sort key, so the upgrade
                 # replaces in place without disturbing the order; bisect
                 # narrows the identity scan to the equal-key run.
-                index = bisect_left(
-                    self._keys, (-existing.confidence, -existing.support)
-                )
+                index = bisect_left(self._keys, self._key(existing))
                 groups = self.groups
                 while groups[index] is not existing:
                     index += 1
@@ -240,8 +258,12 @@ class TopKList:
             return False
         if not self.would_accept(group.confidence, group.support):
             return False
-        key = (-group.confidence, -group.support)
+        key = self._key(group)
         index = bisect_right(self._keys, key)
+        if index >= self.k and len(self.groups) >= self.k:
+            # An exact (confidence, support) tie with the k-th entry that
+            # loses the canonical tie-break would be popped right back.
+            return False
         self.groups.insert(index, group)
         self._keys.insert(index, key)
         self._members[identity] = group

@@ -61,6 +61,34 @@ def relative_minsup(
     return max(1, math.ceil(fraction * class_size))
 
 
+class _CanonicalRowKey:
+    """Memoized position-to-row translation for canonical tie-breaking.
+
+    ``TopKList`` breaks exact confidence/support ties by the group's row
+    set, but the policy's lists hold groups in enumeration-position
+    space, whose order is an engine heuristic (class-dominant, ascending
+    row length) — not monotone in row id.  Translating the tie-break key
+    to original row space makes the order agree with every consumer that
+    compares finalized results (shard merging, hybrid aggregation).  One
+    instance is shared by all of a policy's lists so each distinct group
+    is translated once.
+    """
+
+    __slots__ = ("_view", "_cache")
+
+    def __init__(self, view: MiningView) -> None:
+        self._view = view
+        self._cache: dict[int, int] = {}
+
+    def __call__(self, group: RuleGroup) -> int:
+        rows = self._cache.get(group.row_set)
+        if rows is None:
+            rows = self._cache[group.row_set] = self._view.positions_to_rows(
+                group.row_set
+            )
+        return rows
+
+
 class TopkPolicy:
     """Search policy implementing the top-k pruning of Section 4.1.1."""
 
@@ -79,7 +107,10 @@ class TopkPolicy:
         self.use_topk_pruning = use_topk_pruning
         self.dynamic_minsup = dynamic_minsup
         self._minsup = view.minsup
-        self.lists: list[TopKList] = [TopKList(k) for _ in range(view.n_positive)]
+        canonical = _CanonicalRowKey(view)
+        self.lists: list[TopKList] = [
+            TopKList(k, canonical_key=canonical) for _ in range(view.n_positive)
+        ]
         # The per-row (kth_conf, kth_sup) pairs mirrored into the
         # backend's threshold store, whose min-fold answers Equations
         # 1-2 at every pruning check (vectorized on array backends).
@@ -192,9 +223,11 @@ class TopkPolicy:
         """Second optimization of Section 4.1.1.
 
         Once every consequent-class row has k groups all at 100%
-        confidence, no group with support at or below the weakest k-th
-        support can enter any list, so ``minsup`` rises to that support
-        plus one.
+        confidence, no group with support below the weakest k-th support
+        can enter any list, so ``minsup`` rises to that support.  (The
+        paper raises to ``sup + 1``; keeping support-equal groups
+        enumerable preserves the canonical tie-break, which may replace
+        a k-th entry with an equal-significance group.)
         """
         weakest: Optional[int] = None
         for topk in self.lists:
@@ -204,8 +237,8 @@ class TopkPolicy:
             if conf < 1.0:
                 return
             weakest = sup if weakest is None else min(weakest, sup)
-        if weakest is not None and weakest + 1 > self._minsup:
-            self._minsup = weakest + 1
+        if weakest is not None and weakest > self._minsup:
+            self._minsup = weakest
 
     def finalize(self) -> dict[int, list[RuleGroup]]:
         """Per-row top-k lists in original row space.
@@ -305,6 +338,9 @@ def mine_topk(
     cancel=None,
     n_jobs: "int | str" = 1,
     backend=None,
+    strategy: str = "direct",
+    spill_dir=None,
+    max_resident_cells: Optional[int] = None,
 ) -> TopkResult:
     """Mine the top-k covering rule groups of every consequent-class row.
 
@@ -343,12 +379,58 @@ def mine_topk(
             instance; ``None`` follows the ``REPRO_BITSET_BACKEND``
             environment variable, then the ``int`` default.  Results and
             stats are bit-identical across backends (DESIGN.md §12).
+        strategy: ``direct`` (default) enumerates the whole dataset in
+            one walk; ``hybrid`` dispatches to the partitioned
+            out-of-core miner of :mod:`repro.core.hybrid` (bit-identical
+            per-row lists, ``node_budget`` applied per partition);
+            ``auto`` picks by row count (DESIGN.md §13).
+        spill_dir: hybrid only — existing directory for partition spill
+            files; mining runs in a private subdirectory removed on exit.
+        max_resident_cells: hybrid only — resident-cell budget for the
+            streaming partition builder (requires ``spill_dir``).
 
     Returns:
         A :class:`TopkResult` with per-row lists and run statistics.  When
         a budget was set and exhausted, the lists discovered so far are
         returned and ``stats.completed`` is False.
     """
+    auto_resolved = False
+    if strategy == "auto":
+        from .hybrid import plan_auto_strategy
+
+        strategy = plan_auto_strategy(dataset.n_rows)
+        auto_resolved = True
+    if strategy == "hybrid":
+        from .hybrid import mine_topk_hybrid
+
+        return mine_topk_hybrid(
+            dataset,
+            consequent,
+            minsup,
+            k=k,
+            engine=engine,
+            initialize_single_items=initialize_single_items,
+            dynamic_minsup=dynamic_minsup,
+            use_topk_pruning=use_topk_pruning,
+            node_budget_per_partition=node_budget,
+            time_budget=time_budget,
+            cancel=cancel,
+            n_jobs=n_jobs,
+            backend=backend,
+            spill_dir=spill_dir,
+            max_resident_cells=max_resident_cells,
+        )
+    if strategy != "direct":
+        from .hybrid import STRATEGIES
+
+        known = ", ".join((*STRATEGIES, "auto"))
+        raise ValueError(f"unknown strategy {strategy!r}; expected one of: {known}")
+    if not auto_resolved and (
+        spill_dir is not None or max_resident_cells is not None
+    ):
+        # strategy="auto" may legitimately pre-provision a spill dir and
+        # land on direct; an explicit direct mine with one is a mistake.
+        raise ValueError("spill_dir/max_resident_cells require strategy='hybrid'")
     if n_jobs != 1:
         from ..parallel import mine_topk_parallel
 

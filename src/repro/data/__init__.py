@@ -11,6 +11,7 @@ from .loaders import (
     save_discretized,
     save_expression,
 )
+from .streaming import DatasetChunkSource, RowChunkSource, TallChunkSource
 from .synthetic import (
     ALL_AML,
     LUNG_CANCER,
@@ -32,6 +33,7 @@ __all__ = [
     "ALL_AML",
     "Benchmark",
     "BinningDiscretizer",
+    "DatasetChunkSource",
     "DatasetSpec",
     "DiscretizedDataset",
     "EntropyDiscretizer",
@@ -41,7 +43,9 @@ __all__ = [
     "OVARIAN_CANCER",
     "PAPER_DATASETS",
     "PROSTATE_CANCER",
+    "RowChunkSource",
     "TALL_COHORTS",
+    "TallChunkSource",
     "TallCohortSpec",
     "entropy",
     "generate_dataset",

@@ -519,6 +519,7 @@ TALL_COHORTS: dict[str, TallCohortSpec] = {
         TallCohortSpec(name="tall-1k", n_rows=1024),
         TallCohortSpec(name="tall-4k", n_rows=4096),
         TallCohortSpec(name="tall-16k", n_rows=16384),
+        TallCohortSpec(name="tall-64k", n_rows=65536),
     )
 }
 

@@ -111,6 +111,7 @@ __all__ = [
     "mine_topk_sharded",
     "mine_topk_parallel",
     "mine_farmer_parallel",
+    "run_hybrid_partitions",
     "parallel_map",
     "results_equal",
 ]
@@ -500,7 +501,19 @@ def _mine_shard(kind: str, request, shard_mask: int, dataset, cancel,
     Shared by the worker entry (:func:`_run_shard`, cancel = slot token)
     and the parent's serial fallback (caller's token polled directly,
     remaining global deadline passed as ``time_budget``).
+
+    The ``"hybrid"`` kind mines one column partition of a hybrid run:
+    ``request`` is a :class:`~repro.core.hybrid.HybridPartitionRequest`
+    carrying its own rows (or spill file), ``dataset`` is the shared
+    :class:`~repro.core.hybrid.PartitionCatalog`, and ``shard_mask`` is
+    unused — a partition is a whole dataset, not a row shard.
     """
+    if kind == "hybrid":
+        from .core.hybrid import mine_hybrid_partition
+
+        return mine_hybrid_partition(
+            request, dataset, cancel=cancel, time_budget=time_budget
+        )
     view = MiningView.cached(
         dataset, request.consequent, request.minsup, backend=request.backend
     )
@@ -1026,6 +1039,39 @@ def _execute(
             pool.release_slot(slot)
 
 
+def run_hybrid_partitions(
+    catalog,
+    requests: Sequence,
+    n_jobs: int,
+    time_budget: Optional[float] = None,
+    cancel=None,
+    pool: Optional[MinerPool] = None,
+    fault: Optional[FaultPlan] = None,
+) -> tuple[list, dict]:
+    """Fan hybrid partition jobs over the warm miner pool.
+
+    ``catalog`` is the run's shared
+    :class:`~repro.core.hybrid.PartitionCatalog` (pickled once, like a
+    dataset payload); each request carries its own partition rows.  The
+    jobs are independent whole-dataset mines, so they ride the exact
+    supervision the row shards get: slot-bridged ``time_budget`` /
+    ``cancel``, crash retries on a healed pool, and lossless serial
+    degradation past the retry cap.  Returns ``(outputs, recovery)`` in
+    request order, each output ``(payload, stats)`` from
+    :func:`repro.core.hybrid.mine_hybrid_partition`.
+    """
+    jobs = [("hybrid", request, 0) for request in requests]
+    return _execute(
+        catalog,
+        jobs,
+        n_jobs,
+        time_budget=time_budget,
+        cancel=cancel,
+        pool=pool,
+        fault=fault,
+    )
+
+
 def _merge_topk(
     dataset: "DiscretizedDataset",
     request: MineRequest,
@@ -1034,10 +1080,10 @@ def _merge_topk(
 ) -> TopkResult:
     """Fold per-shard top-k lists into the exact serial result.
 
-    Offers must happen in ascending shard order: serial DFS visits the
-    shards' subtrees in exactly that order, and ``TopKList`` breaks
-    confidence/support ties by insertion order, so any other merge order
-    could flip a tie against the serial result.
+    ``TopKList`` breaks confidence/support ties canonically by row set,
+    so the merge is order-independent: every shard's local top-k
+    contains the members of the global top-k it enumerated, and offering
+    their union reconstructs the serial lists exactly.
     """
     view = MiningView.cached(
         dataset, request.consequent, request.minsup, backend=request.backend

@@ -51,10 +51,25 @@ def dataset_fingerprint(dataset: DiscretizedDataset) -> str:
 
 
 def mining_key(
-    fingerprint: str, consequent: int, minsup: int, k: int, engine: str
+    fingerprint: str,
+    consequent: int,
+    minsup: int,
+    k: int,
+    engine: str,
+    strategy: str = "direct",
 ) -> str:
-    """Cache key of one mining request over a fingerprinted dataset."""
-    return f"{fingerprint}:c{consequent}:s{minsup}:k{k}:{engine}"
+    """Cache key of one mining request over a fingerprinted dataset.
+
+    ``strategy`` is appended only when it differs from ``direct`` so
+    every key minted before strategies existed stays valid (durable
+    stores survive upgrades).  Hybrid results are bit-identical to
+    direct ones, but the stats differ, so the honest move is separate
+    entries.
+    """
+    key = f"{fingerprint}:c{consequent}:s{minsup}:k{k}:{engine}"
+    if strategy != "direct":
+        key = f"{key}:{strategy}"
+    return key
 
 
 def _estimate_result_bytes(result: TopkResult) -> int:

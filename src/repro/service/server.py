@@ -49,6 +49,12 @@ from ..core.backends import (
 )
 from ..core.bitset import iter_indices
 from ..core.enumeration import ENGINES
+from ..core.hybrid import (
+    AUTO_STRATEGY,
+    STRATEGIES,
+    auto_strategy_stats,
+    plan_auto_strategy,
+)
 from ..core.topk_miner import TopkResult, mine_topk, relative_minsup
 from ..data.dataset import GeneExpressionDataset
 from ..data.discretize import EntropyDiscretizer
@@ -234,6 +240,11 @@ class RuleService:
         self.telemetry.set_gauges({
             f"auto_backend_{name}": count
             for name, count in auto_backend_stats().items()
+        })
+        # Same honesty contract for strategy="auto" (direct vs hybrid).
+        self.telemetry.set_gauges({
+            f"auto_strategy_{name}": count
+            for name, count in auto_strategy_stats().items()
         })
         extra = {
             "cache": self.cache.stats(),
@@ -422,6 +433,18 @@ class RuleService:
                     400, f"unknown backend {backend!r}; expected one of "
                          f"{(AUTO_BACKEND,) + tuple(available)}"
                 )
+        strategy = body.get("strategy", "direct")
+        if strategy not in (*STRATEGIES, AUTO_STRATEGY):
+            raise ServiceError(
+                400, f"unknown strategy {strategy!r}; expected one of "
+                     f"{(*STRATEGIES, AUTO_STRATEGY)}"
+            )
+        if strategy == AUTO_STRATEGY:
+            # Resolve before keying: the cache/store key records what
+            # actually ran, so auto requests deduplicate with explicit
+            # requests for the same concrete strategy and replays never
+            # re-plan.
+            strategy = plan_auto_strategy(dataset.n_rows)
         minsup = body.get("minsup")
         if minsup is None:
             try:
@@ -434,7 +457,8 @@ class RuleService:
         minsup = int(minsup)
 
         key = mining_key(
-            dataset_fingerprint(dataset), consequent, minsup, k, engine
+            dataset_fingerprint(dataset), consequent, minsup, k, engine,
+            strategy=strategy,
         )
         cached = self.cache.get(key)
         if cached is not None:
@@ -498,6 +522,7 @@ class RuleService:
                     dataset, consequent, minsup, k=k, engine=engine,
                     node_budget=node_budget, time_budget=time_budget,
                     cancel=job.cancel_event, n_jobs=n_jobs, backend=backend,
+                    strategy=strategy,
                 )
                 # Pure enumeration time, excluding queueing, dataset
                 # decoding and result serialization.
@@ -561,6 +586,7 @@ class RuleService:
                     "k": k,
                     "engine": engine,
                     "backend": backend,
+                    "strategy": strategy,
                     "node_budget": node_budget,
                     "time_budget": time_budget,
                     "n_jobs": n_jobs,

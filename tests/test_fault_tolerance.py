@@ -50,6 +50,7 @@ from repro.parallel import (
     shutdown_pool,
 )
 from repro.baselines.farmer import mine_farmer
+from repro.core.hybrid import mine_topk_hybrid
 
 
 @pytest.fixture
@@ -210,6 +211,34 @@ class TestCrashRecovery:
         )
         assert results_equal(serial_result, result)
         assert result.stats.degraded is False
+
+
+class TestHybridPartitionFaults:
+    """Hybrid column partitions ride the same supervisor as row shards:
+    a killed partition worker is retried on a healed pool, and the
+    caller's cancellation token still stops a parallel hybrid run."""
+
+    def test_partition_worker_crash_recovers(self, small_random):
+        """Partition 0's worker dies on attempt 0: the supervisor heals
+        the pool, re-mines the lost partition, and the aggregated result
+        is bit-identical to the serial hybrid run."""
+        serial = mine_topk_hybrid(small_random, 1, 2, k=4)
+        recovered = mine_topk_hybrid(
+            small_random, 1, 2, k=4, n_jobs=2,
+            fault=FaultPlan.parse("kill@0.0"),
+        )
+        assert results_equal(serial, recovered)
+        assert recovered.stats.completed is True
+
+    def test_preset_cancel_parallel_marks_incomplete(self, small_random):
+        """A cancel set before the parallel partition fan-out yields an
+        honest partial result instead of hanging or raising."""
+        cancel = threading.Event()
+        cancel.set()
+        result = mine_topk_hybrid(
+            small_random, 1, 2, k=4, n_jobs=2, cancel=cancel,
+        )
+        assert result.stats.completed is False
 
 
 class TestHardFailures:

@@ -113,12 +113,22 @@ class TestTopKList:
         topk.offer(group(0.9, 5, [0]))
         assert topk.kth_threshold() == (0.9, 5)
 
-    def test_ties_do_not_replace(self):
+    def test_ties_break_canonically_by_row_set(self):
+        # Exact (confidence, support) ties are settled by the row set,
+        # not by arrival order: the smaller row set wins either way.
+        winner = group(0.9, 5, [0], (1,))
+        loser = group(0.9, 5, [1], (2,))
+        assert winner.row_set < loser.row_set
+
         topk = TopKList(1)
-        first = group(0.9, 5, [0], (1,))
-        topk.offer(first)
-        assert not topk.offer(group(0.9, 5, [1], (2,)))
-        assert topk[0] is first
+        topk.offer(winner)
+        assert not topk.offer(loser)
+        assert topk[0] is winner
+
+        topk = TopKList(1)
+        topk.offer(loser)
+        assert topk.offer(winner)
+        assert topk[0] is winner
 
     def test_same_row_set_upgrades_antecedent(self):
         topk = TopKList(1)
@@ -134,12 +144,15 @@ class TestTopKList:
         assert not topk.offer(group(0.9, 5, [0, 1], (7,)))
         assert len(topk) == 1
 
-    def test_would_accept_strictness(self):
+    def test_would_accept_boundary(self):
         topk = TopKList(1)
         topk.offer(group(0.9, 5, [0]))
-        assert not topk.would_accept(0.9, 5)
+        # Non-strict at exact equality: a boundary tie could still win
+        # the canonical tie-break, so pruning must keep it enumerable.
+        assert topk.would_accept(0.9, 5)
         assert topk.would_accept(0.9, 6)
         assert topk.would_accept(0.95, 1)
+        assert not topk.would_accept(0.9, 4)
         assert not topk.would_accept(0.8, 100)
 
     def test_iteration_order_is_significance(self):

@@ -59,10 +59,13 @@ def _counters(stats) -> dict:
 
 class TestGenerator:
     def test_registry_shapes(self):
-        assert set(TALL_COHORTS) == {"tall-1k", "tall-4k", "tall-16k"}
+        assert set(TALL_COHORTS) == {
+            "tall-1k", "tall-4k", "tall-16k", "tall-64k",
+        }
         assert TALL_COHORTS["tall-1k"].n_rows == 1024
         assert TALL_COHORTS["tall-4k"].n_rows == 4096
         assert TALL_COHORTS["tall-16k"].n_rows == 16384
+        assert TALL_COHORTS["tall-64k"].n_rows == 65536
 
     def test_deterministic(self):
         first = generate_tall_cohort(SMALL_TALL)
